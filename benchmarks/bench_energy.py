@@ -1,0 +1,50 @@
+"""Energy projections: quad-samples per joule under the active power cap.
+
+No paper anchors exist (the paper reports throughput only despite comparing
+against an energy-focused FPGA approach), so this bench reports model
+estimates and asserts internal consistency: energy efficiency follows
+throughput efficiency, and Ampere's superior perf/W shows up.
+"""
+
+from repro.device.specs import A100_PCIE, A100_SXM4, TITAN_RTX
+from repro.perfmodel import predict_multi_gpu, predict_search
+from repro.perfmodel.energy import estimate_energy
+
+from conftest import print_table
+
+
+def test_energy_table(benchmark):
+    def estimates():
+        points = [
+            ("Titan RTX", predict_search(TITAN_RTX, 2048, 262144, 32)),
+            ("A100 PCIe", predict_search(A100_PCIE, 2048, 524288, 32)),
+            ("A100 SXM4", predict_search(A100_SXM4, 2048, 524288, 32)),
+            ("8x A100 SXM4", predict_multi_gpu(A100_SXM4, 8, 4096, 524288, 32)),
+        ]
+        return [(name, pred, estimate_energy(pred)) for name, pred in points]
+
+    rows = benchmark(estimates)
+    print_table(
+        "modelled energy efficiency (TDP x runtime under active power cap)",
+        ["system", "watts", "kJ / search", "giga quad-samples/J"],
+        [
+            [
+                name,
+                f"{e.watts:.0f}",
+                f"{e.joules / 1e3:.0f}",
+                f"{e.giga_quad_samples_per_joule:.0f}",
+            ]
+            for name, _, e in rows
+        ],
+    )
+    by_name = {name: e for name, _, e in rows}
+    # Ampere's perf/W advantage must materialize.
+    assert (
+        by_name["A100 PCIe"].giga_quad_samples_per_joule
+        > by_name["Titan RTX"].giga_quad_samples_per_joule
+    )
+    # Multi-GPU pays a small energy-efficiency cost for the wall-time win.
+    assert (
+        by_name["8x A100 SXM4"].giga_quad_samples_per_joule
+        <= by_name["A100 SXM4"].giga_quad_samples_per_joule * 1.05
+    )

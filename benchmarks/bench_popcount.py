@@ -1,0 +1,27 @@
+"""Microbenchmarks of the popcount kernels (hardware POPCNT vs byte LUT)."""
+
+import numpy as np
+import pytest
+
+from repro.bitops.popcount import _popcount_u64_lut, popcount_rows, popcount_u64
+
+
+@pytest.fixture(scope="module")
+def words():
+    rng = np.random.default_rng(1)
+    return rng.integers(0, 2**63, size=(512, 512), dtype=np.uint64)
+
+
+def test_popcount_fast(benchmark, words):
+    out = benchmark(popcount_u64, words)
+    assert out.shape == words.shape
+
+
+def test_popcount_lut(benchmark, words):
+    out = benchmark(_popcount_u64_lut, words)
+    assert out.shape == words.shape
+
+
+def test_popcount_rows(benchmark, words):
+    out = benchmark(popcount_rows, words)
+    assert out.shape == (512,)

@@ -1,0 +1,45 @@
+"""Microbenchmarks of the scoring subsystem.
+
+The paper's argument (§2) that the statistical test does not dominate cost
+rests on its sample-count-invariant evaluation; here we measure all four
+scores on a round-sized batch of 81-cell tables, plus the lgamma-LUT
+speedup over direct ``gammaln`` evaluation (§3.5).
+"""
+
+import numpy as np
+import pytest
+from scipy.special import gammaln
+
+from repro.scoring import LgammaTable, make_score
+
+BATCH = 8 * 8 * 8 * 8  # one B=8 round's quads
+
+
+@pytest.fixture(scope="module")
+def tables():
+    rng = np.random.default_rng(2)
+    t0 = rng.integers(0, 40, (BATCH, 3, 3, 3, 3))
+    t1 = rng.integers(0, 40, (BATCH, 3, 3, 3, 3))
+    return t0, t1
+
+
+@pytest.mark.parametrize("name", ["k2", "chi2", "gtest", "mi"])
+def test_score_batch(benchmark, tables, name):
+    t0, t1 = tables
+    fn = make_score(name)
+    out = benchmark(fn, t0, t1, 4)
+    assert out.shape == (BATCH,)
+
+
+def test_lgamma_lut_vs_gammaln(benchmark, tables):
+    t0, t1 = tables
+    args = (t0 + t1 + 2).ravel()
+    table = LgammaTable(int(args.max()))
+    lut = benchmark(table, args)
+    np.testing.assert_allclose(lut, gammaln(args))
+
+
+def test_gammaln_direct(benchmark, tables):
+    t0, t1 = tables
+    args = (t0 + t1 + 2).ravel().astype(np.float64)
+    benchmark(gammaln, args)

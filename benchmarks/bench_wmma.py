@@ -1,0 +1,37 @@
+"""Microbenchmark: the instruction-level WMMA execution model.
+
+Confirms (and times) that fragment-wise execution reproduces the engines'
+results exactly, and that the issued-instruction count ties to the tile
+quantization model the performance projections charge.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bitops import BitMatrix
+from repro.tensor import AMPERE_TILES, TURING_TILES
+from repro.tensor.and_popc import dense_dot_counts
+from repro.tensor.wmma import WmmaGemm
+
+
+@pytest.fixture(scope="module")
+def operands():
+    rng = np.random.default_rng(4)
+    a = BitMatrix.from_bool(rng.random((128, 2048)) < 0.45)
+    b = BitMatrix.from_bool(rng.random((128, 2048)) < 0.45)
+    return a, b
+
+
+@pytest.mark.parametrize(
+    "tiles,label", [(TURING_TILES, "turing"), (AMPERE_TILES, "ampere")]
+)
+def test_wmma_fragment_execution(benchmark, operands, tiles, label):
+    a, b = operands
+    wmma = WmmaGemm(tiles, "and")
+    out, stats = benchmark(wmma.gemm, a, b)
+    np.testing.assert_array_equal(out, dense_dot_counts(a, b))
+    print(
+        f"\n{label}: {stats.instructions} MMA instructions over "
+        f"{stats.k_fragments} k-fragments; padded {stats.padded_shape}"
+    )
+    assert stats.fused_ops == tiles.padded_ops(128, 128, 2048)

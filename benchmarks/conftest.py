@@ -1,0 +1,43 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` module regenerates one table or figure of the paper: it
+*measures* the simulator on scaled-down workloads (absolute numbers are
+CPU-simulator numbers, not GPU numbers) and *prints* the calibrated model's
+projection next to the paper's reported values.  ``EXPERIMENTS.md`` records
+the resulting comparison.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import Dataset, generate_random_dataset
+
+
+def print_table(title: str, header: list[str], rows: list[list]) -> None:
+    """Print an aligned table into the captured benchmark output."""
+    widths = [
+        max(len(str(header[i])), max((len(str(r[i])) for r in rows), default=0))
+        for i in range(len(header))
+    ]
+    print(f"\n=== {title} ===")
+    print("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+@pytest.fixture(scope="session")
+def bench_dataset_small() -> Dataset:
+    """32 SNPs x 1024 samples — a quick functional workload."""
+    return generate_random_dataset(32, 1024, seed=100)
+
+
+@pytest.fixture(scope="session")
+def bench_dataset_wide() -> Dataset:
+    """64 SNPs x 512 samples — more blocks, same volume."""
+    return generate_random_dataset(64, 512, seed=101)

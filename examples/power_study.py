@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Detection-power study across epistasis architectures.
+
+For each penetrance model (threshold / parity / multiplicative) and effect
+size, plants the interaction into replicated datasets and measures how
+often the exhaustive fourth-order search ranks the causal quad first —
+plus a permutation p-value for the detected quad.  This is the analysis a
+geneticist would run to size a study before committing GPU-hours, and it
+exercises the penetrance, search, top-k and significance APIs together.
+
+Run:  python examples/power_study.py
+"""
+
+import numpy as np
+
+from repro.core.search import Epi4TensorSearch, SearchConfig
+from repro.datasets import PenetranceModel, generate_from_penetrance
+from repro.scoring.significance import permutation_pvalue
+
+N_SNPS = 12
+N_SAMPLES = 2500
+REPLICATES = 5
+TRUTH = (1, 4, 7, 10)
+
+
+def detection_power(model: PenetranceModel) -> tuple[float, float]:
+    """(fraction of replicates where truth ranks #1, median p-value)."""
+    hits = 0
+    pvals = []
+    for rep in range(REPLICATES):
+        ds, truth = generate_from_penetrance(
+            N_SNPS, N_SAMPLES, model, interacting_snps=TRUTH, seed=100 + rep
+        )
+        result = Epi4TensorSearch(
+            ds, SearchConfig(block_size=4, top_k=3)
+        ).run()
+        if result.best_quad == truth:
+            hits += 1
+        pvals.append(
+            permutation_pvalue(
+                ds, result.best_quad, n_permutations=99, seed=rep
+            ).p_value
+        )
+    return hits / REPLICATES, float(np.median(pvals))
+
+
+def main() -> None:
+    print(f"{N_SNPS} SNPs x {N_SAMPLES} samples, {REPLICATES} replicates per cell\n")
+    print(f"{'model':<16s}{'effect':>7s}{'marginal':>10s}{'power':>7s}{'med p':>8s}")
+    for name, factory in (
+        ("threshold", PenetranceModel.threshold),
+        ("parity", PenetranceModel.parity),
+    ):
+        for effect in (1.4, 2.0, 2.6):
+            model = factory(baseline=0.25, effect_size=effect)
+            power, med_p = detection_power(model)
+            print(
+                f"{name:<16s}{effect:7.1f}{model.marginal_effect(0):10.3f}"
+                f"{power:7.0%}{med_p:8.3f}"
+            )
+    model = PenetranceModel.multiplicative(baseline=0.1, per_allele_factor=1.25)
+    power, med_p = detection_power(model)
+    print(
+        f"{'multiplicative':<16s}{'':>7s}{model.marginal_effect(0):10.3f}"
+        f"{power:7.0%}{med_p:8.3f}"
+    )
+    print(
+        "\nreading: power rises with effect size; the parity model has "
+        "near-zero\nmarginal effect (invisible to single-SNP scans) yet is "
+        "fully detectable\nby the fourth-order search once the effect is "
+        "strong enough."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Baseline fourth-order detectors the paper compares against (Table 2, §5).
+
+- :mod:`repro.baselines.bitepi` — BitEpi-style CPU bitwise search [2]:
+  three bit-planes per SNP per class, per-quad AND+POPC.
+- :mod:`repro.baselines.single_phase` — the single-phase third-order
+  precompute strategy of the SYCL approach [15], reproducing its memory
+  blow-up with ``M``.
+- :mod:`repro.baselines.naive` — dense-histogram reference (no bit tricks).
+
+All return the same ``(best quad, score)`` as the tensor pipeline; the test
+suite checks the four implementations agree.
+"""
+
+from repro.baselines.bitepi import BitEpiBaseline
+from repro.baselines.naive import NaiveBaseline
+from repro.baselines.single_phase import SinglePhaseBaseline, single_phase_memory_bytes
+
+__all__ = [
+    "BitEpiBaseline",
+    "NaiveBaseline",
+    "SinglePhaseBaseline",
+    "single_phase_memory_bytes",
+]

@@ -1,0 +1,18 @@
+"""Bit-level substrate: packed bit-matrices, popcount kernels, block combine.
+
+This package provides the data layout the whole system is built on: sample
+bit-planes packed into little-endian ``uint64`` words, with rows indexed by
+``(SNP, genotype)`` pairs exactly as in the paper's §3.1 memory format.
+"""
+
+from repro.bitops.bitmatrix import BitMatrix, WORD_BITS
+from repro.bitops.combine import combine_blocks
+from repro.bitops.popcount import popcount_u64, popcount_rows
+
+__all__ = [
+    "BitMatrix",
+    "WORD_BITS",
+    "combine_blocks",
+    "popcount_rows",
+    "popcount_u64",
+]

@@ -1,0 +1,164 @@
+"""Packed bit-matrix: the fundamental operand of the binary tensor engines.
+
+A :class:`BitMatrix` stores ``R`` rows of ``K`` bits each, packed
+little-endian into ``uint64`` words (bit ``i`` of word ``j`` is logical bit
+``64*j + i``).  Rows play the role of the matrix rows fed to the 1-bit WMMA
+fragments in the paper's CUDA kernels; the bit (sample) dimension is the
+GEMM ``K`` dimension.
+
+Bits past ``n_bits`` in the last word are guaranteed to be zero; every
+operation preserves that invariant so AND-popcounts never see garbage and the
+XOR+POPC translation layer stays exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bitops.popcount import popcount_rows
+
+#: Bits per packed word.
+WORD_BITS = 64
+
+
+def words_for_bits(n_bits: int) -> int:
+    """Number of 64-bit words needed to store ``n_bits`` bits."""
+    return (n_bits + WORD_BITS - 1) // WORD_BITS
+
+
+@dataclass(frozen=True)
+class BitMatrix:
+    """``R x K`` binary matrix packed into ``(R, W)`` ``uint64`` words."""
+
+    data: np.ndarray
+    n_bits: int
+
+    def __post_init__(self) -> None:
+        d = np.asarray(self.data)
+        if d.ndim != 2 or d.dtype != np.uint64:
+            raise ValueError(
+                f"data must be a 2-D uint64 array, got shape {d.shape} dtype {d.dtype}"
+            )
+        if self.n_bits < 0:
+            raise ValueError(f"n_bits must be >= 0, got {self.n_bits}")
+        if d.shape[1] != words_for_bits(self.n_bits):
+            raise ValueError(
+                f"{d.shape[1]} words cannot hold exactly {self.n_bits} bits "
+                f"(expected {words_for_bits(self.n_bits)})"
+            )
+        object.__setattr__(self, "data", np.ascontiguousarray(d))
+
+    # ------------------------------------------------------------------ #
+    # Construction / conversion
+
+    @classmethod
+    def from_bool(cls, rows: np.ndarray) -> "BitMatrix":
+        """Pack a ``(R, K)`` boolean (or 0/1) array into a BitMatrix."""
+        rows = np.asarray(rows)
+        if rows.ndim != 2:
+            raise ValueError(f"rows must be 2-D, got shape {rows.shape}")
+        r, k = rows.shape
+        w = words_for_bits(k)
+        packed_bytes = np.packbits(rows.astype(np.uint8), axis=1, bitorder="little")
+        padded = np.zeros((r, w * 8), dtype=np.uint8)
+        padded[:, : packed_bytes.shape[1]] = packed_bytes
+        return cls(data=padded.view(np.uint64), n_bits=k)
+
+    @classmethod
+    def zeros(cls, n_rows: int, n_bits: int) -> "BitMatrix":
+        """An all-zero bit-matrix."""
+        return cls(
+            data=np.zeros((n_rows, words_for_bits(n_bits)), dtype=np.uint64),
+            n_bits=n_bits,
+        )
+
+    def to_bool(self) -> np.ndarray:
+        """Unpack to a ``(R, K)`` boolean array."""
+        as_bytes = self.data.view(np.uint8)
+        bits = np.unpackbits(as_bytes, axis=1, bitorder="little")
+        return bits[:, : self.n_bits].astype(np.bool_)
+
+    def to_float32(self) -> np.ndarray:
+        """Unpack to ``(R, K)`` float32 0/1 — the dense-GEMM operand form."""
+        return self.to_bool().astype(np.float32)
+
+    # ------------------------------------------------------------------ #
+    # Shape
+
+    @property
+    def n_rows(self) -> int:
+        return int(self.data.shape[0])
+
+    @property
+    def n_words(self) -> int:
+        return int(self.data.shape[1])
+
+    @property
+    def nbytes(self) -> int:
+        """Packed storage footprint in bytes."""
+        return int(self.data.nbytes)
+
+    # ------------------------------------------------------------------ #
+    # Row operations
+
+    def row_popcounts(self) -> np.ndarray:
+        """``(R,)`` int64 vector of set-bit counts per row (``POPC(A)``)."""
+        return popcount_rows(self.data)
+
+    def select_rows(self, start: int, stop: int) -> "BitMatrix":
+        """A view-backed BitMatrix of rows ``[start, stop)``."""
+        if not (0 <= start <= stop <= self.n_rows):
+            raise IndexError(
+                f"row range [{start}, {stop}) out of bounds for {self.n_rows} rows"
+            )
+        return BitMatrix(data=self.data[start:stop], n_bits=self.n_bits)
+
+    def bitwise_and(self, other: "BitMatrix") -> "BitMatrix":
+        """Element-wise AND of two matrices with identical shape."""
+        self._check_compatible(other)
+        return BitMatrix(data=self.data & other.data, n_bits=self.n_bits)
+
+    def bitwise_xor(self, other: "BitMatrix") -> "BitMatrix":
+        """Element-wise XOR of two matrices with identical shape."""
+        self._check_compatible(other)
+        return BitMatrix(data=self.data ^ other.data, n_bits=self.n_bits)
+
+    def split_bits(self, chunk_bits: int) -> list["BitMatrix"]:
+        """Split along the bit (sample) dimension into word-aligned chunks.
+
+        Used by the sample-chunked execution mode (the paper's suggested
+        mitigation of the Turing 524288-sample throughput cliff): partial
+        contingency tables from each chunk are summed element-wise.
+
+        Args:
+            chunk_bits: chunk size in bits; must be a multiple of 64.
+        """
+        if chunk_bits <= 0 or chunk_bits % WORD_BITS:
+            raise ValueError(
+                f"chunk_bits must be a positive multiple of {WORD_BITS}, got {chunk_bits}"
+            )
+        chunks: list[BitMatrix] = []
+        words_per_chunk = chunk_bits // WORD_BITS
+        for start_word in range(0, self.n_words, words_per_chunk):
+            stop_word = min(start_word + words_per_chunk, self.n_words)
+            bits_here = min(
+                chunk_bits, self.n_bits - start_word * WORD_BITS
+            )
+            chunks.append(
+                BitMatrix(
+                    data=self.data[:, start_word:stop_word], n_bits=bits_here
+                )
+            )
+        return chunks
+
+    def _check_compatible(self, other: "BitMatrix") -> None:
+        if self.data.shape != other.data.shape or self.n_bits != other.n_bits:
+            raise ValueError(
+                f"incompatible BitMatrix shapes: {self.data.shape}/{self.n_bits} "
+                f"vs {other.data.shape}/{other.n_bits}"
+            )
+
+    def __repr__(self) -> str:
+        return f"BitMatrix(rows={self.n_rows}, bits={self.n_bits})"

@@ -1,0 +1,55 @@
+"""Population-count kernels over packed ``uint64`` words.
+
+Two implementations are provided:
+
+- :func:`popcount_u64` uses :func:`numpy.bitwise_count` when available
+  (NumPy >= 2.0), which lowers to the hardware ``POPCNT`` instruction.
+- :func:`_popcount_u64_lut` is a byte-table fallback, kept both for older
+  NumPy and as an independent reference in tests.
+
+Both operate element-wise; :func:`popcount_rows` sums along the last axis to
+produce per-row totals (the ``POPC(A)`` terms of the paper's §3.4
+compatibility layer).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: 256-entry byte popcount table (built once at import).
+_BYTE_POPCOUNT = np.array(
+    [bin(i).count("1") for i in range(256)], dtype=np.uint8
+)
+
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+
+def _popcount_u64_lut(words: np.ndarray) -> np.ndarray:
+    """Byte-LUT popcount of each ``uint64`` element (reference/fallback)."""
+    as_bytes = words.view(np.uint8).reshape(words.shape + (8,))
+    return _BYTE_POPCOUNT[as_bytes].sum(axis=-1, dtype=np.int64)
+
+
+def popcount_u64(words: np.ndarray) -> np.ndarray:
+    """Element-wise popcount of a ``uint64`` array.
+
+    Args:
+        words: array of dtype ``uint64`` (any shape).
+
+    Returns:
+        ``int64`` array of the same shape with the number of set bits per
+        element.
+    """
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    if _HAS_BITWISE_COUNT:
+        return np.bitwise_count(words).astype(np.int64)
+    return _popcount_u64_lut(words)
+
+
+def popcount_rows(words: np.ndarray) -> np.ndarray:
+    """Total set bits along the last axis of a packed ``uint64`` array.
+
+    For a ``(R, W)`` packed bit-matrix this returns the ``(R,)`` vector of
+    row popcounts.
+    """
+    return popcount_u64(words).sum(axis=-1, dtype=np.int64)

@@ -1,0 +1,332 @@
+"""``epi4tensor`` command-line interface.
+
+Subcommands:
+
+- ``search``   — run a fourth-order search on a dataset file (``.npz`` or
+  CSV) or on a freshly generated synthetic dataset.
+- ``predict``  — project paper-scale performance for a GPU/dataset point.
+- ``figures``  — print the modelled series behind the paper's Fig. 2,
+  Fig. 3, Table 1 and Table 2.
+- ``generate`` — write a synthetic dataset to disk.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _add_search(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("search", help="run an exhaustive epistasis search")
+    p.add_argument(
+        "--input",
+        help=".npz or .csv dataset, or a PLINK prefix (.ped/.map); omit to generate",
+    )
+    p.add_argument("--snps", type=int, default=48, help="synthetic SNP count")
+    p.add_argument("--samples", type=int, default=512, help="synthetic sample count")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--order", type=int, default=4, choices=(2, 3, 4),
+                   help="interaction order")
+    p.add_argument("--block-size", type=int, default=16)
+    p.add_argument("--score", default="k2", choices=("k2", "chi2", "gtest", "mi"))
+    p.add_argument("--gpu", default="A100 PCIe", help="device model to account against")
+    p.add_argument("--n-gpus", type=int, default=1)
+    p.add_argument(
+        "--engine", default=None, choices=(None, "and_popc", "xor_popc"),
+        help="override the device's native tensor-op kind",
+    )
+    p.add_argument("--top-k", type=int, default=1, help="ranked results to report")
+    p.add_argument(
+        "--permutations", type=int, default=0,
+        help="if > 0, estimate a permutation p-value for the best result",
+    )
+    p.add_argument("--report", help="write a full text report to this path")
+    p.add_argument(
+        "--qc", action="store_true",
+        help="apply MAF/HWE quality control before searching",
+    )
+    p.add_argument(
+        "--checkpoint",
+        help="checkpoint file: progress is saved after every outer "
+        "iteration and resumed from here on restart",
+    )
+    p.add_argument(
+        "--selfcheck", action="store_true",
+        help="re-verify every round's winner through an independent "
+        "bitwise path (aborts on any disagreement)",
+    )
+
+
+def _add_predict(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("predict", help="project paper-scale performance")
+    p.add_argument("--gpu", default="A100 PCIe")
+    p.add_argument("--n-gpus", type=int, default=1)
+    p.add_argument("--snps", type=int, required=True)
+    p.add_argument("--samples", type=int, required=True)
+    p.add_argument("--block-size", type=int, default=32)
+
+
+def _add_figures(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("figures", help="print modelled evaluation series")
+    p.add_argument(
+        "which", choices=("table1", "fig2", "fig3", "table2", "ratios", "all"),
+    )
+    p.add_argument(
+        "--csv", metavar="DIR",
+        help="also export machine-readable CSVs into this directory",
+    )
+
+
+def _add_qc(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("qc", help="quality-control a dataset")
+    p.add_argument("input", help=".npz/.csv dataset or PLINK prefix")
+    p.add_argument("--min-maf", type=float, default=0.05)
+    p.add_argument("--hwe-alpha", type=float, default=1e-6)
+    p.add_argument("--output", help="write the filtered dataset here (.npz)")
+
+
+def _add_generate(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("generate", help="write a synthetic dataset")
+    p.add_argument("output", help="output .npz path")
+    p.add_argument("--snps", type=int, default=64)
+    p.add_argument("--samples", type=int, default=1024)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--plant-interaction", action="store_true",
+        help="embed a ground-truth fourth-order interaction",
+    )
+
+
+def _load_or_generate(args: argparse.Namespace):
+    import os
+
+    from repro.datasets import (
+        generate_random_dataset,
+        load_dataset,
+        load_dataset_csv,
+        load_plink,
+    )
+
+    if args.input:
+        if args.input.endswith(".csv"):
+            dataset = load_dataset_csv(args.input)
+        elif args.input.endswith(".npz"):
+            dataset = load_dataset(args.input)
+        elif os.path.exists(args.input + ".ped"):
+            dataset = load_plink(args.input, missing="drop")
+        else:
+            dataset = load_dataset(args.input)
+        print(f"loaded {dataset}")
+    else:
+        dataset = generate_random_dataset(args.snps, args.samples, seed=args.seed)
+        print(f"generated {dataset}")
+    return dataset
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    from repro.core.korder import search_second_order, search_third_order
+    from repro.core.search import Epi4TensorSearch, SearchConfig
+    from repro.device.specs import gpu_by_name
+    from repro.scoring.significance import permutation_pvalue
+
+    dataset = _load_or_generate(args)
+    if args.qc:
+        from repro.datasets.qc import apply_qc
+
+        dataset, qc_report = apply_qc(dataset)
+        print(qc_report.summary())
+    names = dataset.snp_names
+    spec = gpu_by_name(args.gpu)
+
+    if args.order in (2, 3):
+        searcher = search_second_order if args.order == 2 else search_third_order
+        kres = searcher(
+            dataset, block_size=args.block_size, score=args.score, spec=spec
+        )
+        labels = ", ".join(names[i] for i in kres.best_tuple)
+        print(f"best {args.order}-set : {kres.best_tuple} = {labels}")
+        print(f"score     : {kres.best_score:.6f} ({args.score})")
+        print(f"wall time : {kres.wall_seconds:.2f}s "
+              f"({kres.n_sets_evaluated} sets, {kres.tensor_ops:.2e} tensor ops)")
+        best_tuple = kres.best_tuple
+    else:
+        config = SearchConfig(
+            block_size=args.block_size,
+            score=args.score,
+            engine_kind=args.engine,
+            top_k=args.top_k,
+            selfcheck=args.selfcheck,
+        )
+        result = Epi4TensorSearch(
+            dataset, config, spec=spec, n_gpus=args.n_gpus
+        ).run(checkpoint_path=args.checkpoint)
+        for rank, sol in enumerate(result.top_solutions, start=1):
+            w, x, y, z = sol.quad
+            print(f"#{rank}: ({w}, {x}, {y}, {z}) = "
+                  f"{names[w]}, {names[x]}, {names[y]}, {names[z]}  "
+                  f"score {sol.score:.6f}")
+        print(f"device    : {result.n_devices}x {result.spec_name} "
+              f"[{result.engine_name}]")
+        print(f"useful    : {100 * result.block_scheme.useful_fraction:.1f}% of "
+              f"{result.block_scheme.quads_processed} processed quads")
+        print(f"wall time : {result.wall_seconds:.2f}s "
+              f"({result.quads_per_second_scaled:.3e} quad-samples/s)")
+        best_tuple = result.best_quad
+        if args.report:
+            from repro.reporting import format_search_report
+
+            with open(args.report, "w", encoding="utf-8") as fh:
+                fh.write(format_search_report(result, dataset))
+            print(f"report    : written to {args.report}")
+
+    if args.permutations > 0:
+        perm = permutation_pvalue(
+            dataset,
+            best_tuple,
+            n_permutations=args.permutations,
+            seed=args.seed,
+        )
+        print(f"p-value   : {perm.p_value:.4f} "
+              f"({args.permutations} label permutations)")
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    from repro.device.specs import gpu_by_name
+    from repro.perfmodel.figures import prediction_for_point
+
+    pred = prediction_for_point(
+        gpu_by_name(args.gpu), args.n_gpus, args.snps, args.samples, args.block_size
+    )
+    print(f"{args.n_gpus}x {args.gpu}, M={args.snps}, N={args.samples}, "
+          f"B={args.block_size}")
+    print(f"projected time   : {pred.seconds:.1f} s ({pred.seconds / 3600:.2f} h)")
+    print(f"performance      : {pred.tera_quads_per_second_scaled:.2f} tera "
+          "quads/s (scaled to sample size)")
+    print(f"avg tensor TOPS  : {pred.avg_tops:.0f} "
+          f"({100 * pred.efficiency:.1f}% of aggregate peak)")
+    if pred.schedule is not None:
+        print(f"speedup vs 1 GPU : {pred.speedup_vs_single:.2f}x")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.perfmodel import figures
+
+    if args.which == "table1":
+        for row in figures.table1_rows():
+            print(
+                f"{row['system']}: {row['gpu']} ({row['arch']}), "
+                f"{row['tensor_cores']} tensor cores @ {row['boost_mhz']:.0f} MHz, "
+                f"peak {row['peak_binary_tops']:.0f} binary TOPS, "
+                f"{row['memory_gb']} GB @ {row['bandwidth_gbps']} GB/s"
+            )
+    elif args.which == "fig2":
+        print("system gpu          M     N       eng  B  S  tera-quads/s  avgTOPS")
+        for r in figures.fig2_grid():
+            print(
+                f"{r.system:6s} {r.gpu:12s} {r.n_snps:5d} {r.n_samples:7d} "
+                f"{r.engine:4s} {r.block_size:2d} {r.n_streams}  "
+                f"{r.tera_quads_per_second:10.2f}  {r.avg_tops:7.0f}"
+            )
+    elif args.which == "fig3":
+        print("gpus  M     N       tera-quads/s  speedup  avgTOPS  hours")
+        for r in figures.fig3_grid():
+            print(
+                f"{r.n_gpus:4d} {r.n_snps:5d} {r.n_samples:7d} "
+                f"{r.tera_quads_per_second:12.1f}  {r.speedup:6.2f}  "
+                f"{r.avg_tops:7.0f}  {r.hours:6.2f}"
+            )
+    elif args.which == "table2":
+        for r in figures.table2_rows():
+            print(
+                f"{r.approach:24s} {r.hardware:32s} {r.n_snps:5d} x {r.n_samples:6d}"
+                f"  {r.tera_quads_per_second:8.3f}  [{r.source}]"
+            )
+    elif args.which == "ratios":
+        for r in figures.unique_ratio_rows():
+            print(f"M={r.n_snps:5d} B={r.block_size:2d}: {r.percent_unique:.1f}% unique")
+    elif args.which == "all":
+        if not args.csv:
+            raise SystemExit("figures all requires --csv DIR")
+    if args.csv:
+        from repro.perfmodel.export import export_all
+
+        for name, path in export_all(args.csv).items():
+            print(f"wrote {name}: {path}")
+    return 0
+
+
+def _cmd_qc(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.datasets import save_dataset
+    from repro.datasets.qc import apply_qc
+
+    class _Shim:
+        input = args.input
+        snps = samples = seed = 0
+
+    dataset = _load_or_generate(_Shim)
+    filtered, report = apply_qc(
+        dataset, min_maf=args.min_maf, hwe_alpha=args.hwe_alpha
+    )
+    print(report.summary())
+    print(f"MAF range  : {report.maf.min():.3f} .. {report.maf.max():.3f}")
+    print(f"HWE p min  : {report.hwe_pvalues.min():.2e}")
+    worst = np.argsort(report.hwe_pvalues)[:5]
+    for idx in worst:
+        print(
+            f"  {dataset.snp_names[idx]:<12s} maf={report.maf[idx]:.3f} "
+            f"hwe_p={report.hwe_pvalues[idx]:.2e}"
+        )
+    if args.output:
+        save_dataset(args.output, filtered)
+        print(f"filtered dataset written to {args.output}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.datasets import (
+        generate_epistatic_dataset,
+        generate_random_dataset,
+        save_dataset,
+    )
+
+    if args.plant_interaction:
+        dataset, quad = generate_epistatic_dataset(
+            args.snps, args.samples, seed=args.seed
+        )
+        print(f"planted interaction at SNPs {quad}")
+    else:
+        dataset = generate_random_dataset(args.snps, args.samples, seed=args.seed)
+    save_dataset(args.output, dataset)
+    print(f"wrote {dataset} to {args.output}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="epi4tensor",
+        description="Tensor-accelerated fourth-order epistasis detection "
+        "(ICPP 2022 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    _add_search(sub)
+    _add_predict(sub)
+    _add_figures(sub)
+    _add_qc(sub)
+    _add_generate(sub)
+    args = parser.parse_args(argv)
+    handlers = {
+        "search": _cmd_search,
+        "predict": _cmd_predict,
+        "figures": _cmd_figures,
+        "qc": _cmd_qc,
+        "generate": _cmd_generate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

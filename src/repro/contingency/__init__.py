@@ -1,0 +1,36 @@
+"""Contingency tables of interaction orders 1-4.
+
+A ``k``-th order contingency table for one phenotype class is a ``(3,)*k``
+integer array: cell ``(g1..gk)`` counts the samples of that class whose
+genotypes at the ``k`` SNPs are ``g1..gk``.  The tensor engines produce only
+the ``{0,1}^k`` *corner* (the ``AA``/``Aa`` bit-planes are the only ones
+stored); :mod:`repro.contingency.complete` derives the remaining cells from
+lower-order marginals — the paper's §3.3 cost-reduction scheme.
+"""
+
+from repro.contingency.brute_force import (
+    best_quad_brute_force,
+    contingency_table,
+    contingency_tables_by_class,
+)
+from repro.contingency.complete import (
+    complete_pair,
+    complete_quad,
+    complete_single,
+    complete_tables,
+    complete_triple,
+)
+from repro.contingency.tables import marginalize, validate_table
+
+__all__ = [
+    "best_quad_brute_force",
+    "complete_pair",
+    "complete_quad",
+    "complete_single",
+    "complete_tables",
+    "complete_triple",
+    "contingency_table",
+    "contingency_tables_by_class",
+    "marginalize",
+    "validate_table",
+]

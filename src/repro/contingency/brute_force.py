@@ -1,0 +1,80 @@
+"""Reference contingency-table construction and brute-force search.
+
+These implementations are deliberately simple — direct histogramming over
+the dense genotype matrix and Python-level combination loops — and serve as
+the ground truth the tensor pipeline is tested against.  They are usable for
+small problems only.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.datasets.dataset import Dataset
+
+
+def contingency_table(genotype_rows: np.ndarray) -> np.ndarray:
+    """Histogram ``k`` genotype rows into a ``(3,)*k`` table.
+
+    Args:
+        genotype_rows: ``(k, n_samples)`` integer array over ``{0, 1, 2}``.
+
+    Returns:
+        ``(3,)*k`` int64 table.
+    """
+    rows = np.asarray(genotype_rows)
+    if rows.ndim != 2:
+        raise ValueError(f"genotype_rows must be 2-D, got shape {rows.shape}")
+    k = rows.shape[0]
+    flat = np.ravel_multi_index(tuple(rows), (3,) * k)
+    return np.bincount(flat, minlength=3**k).reshape((3,) * k).astype(np.int64)
+
+
+def contingency_tables_by_class(
+    dataset: Dataset, snps: Sequence[int]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-class tables for one SNP tuple.
+
+    Returns:
+        ``(controls_table, cases_table)``, each ``(3,)*len(snps)``.
+    """
+    idx = np.asarray(snps, dtype=np.intp)
+    tables = []
+    for cls in (0, 1):
+        g = dataset.class_genotypes(cls)[idx]
+        tables.append(contingency_table(g))
+    return tables[0], tables[1]
+
+
+def best_quad_brute_force(
+    dataset: Dataset,
+    score_fn: Callable[[np.ndarray, np.ndarray], float],
+) -> tuple[tuple[int, int, int, int], float]:
+    """Exhaustively score every 4-SNP combination (reference oracle).
+
+    Args:
+        dataset: case-control dataset (small ``M`` only — cost is
+            ``O(C(M, 4) * N)``).
+        score_fn: maps ``(controls_table, cases_table)`` — both ``(3,3,3,3)``
+            — to a float score.  Lower is better (K2 convention).
+
+    Returns:
+        ``(best_quad, best_score)``; ties are broken toward the
+        lexicographically smallest quad, matching the packed-index reduction
+        of the tensor pipeline.
+    """
+    if dataset.n_snps < 4:
+        raise ValueError(f"need at least 4 SNPs, got {dataset.n_snps}")
+    best_quad: tuple[int, int, int, int] | None = None
+    best_score = np.inf
+    for quad in combinations(range(dataset.n_snps), 4):
+        t0, t1 = contingency_tables_by_class(dataset, quad)
+        score = float(score_fn(t0, t1))
+        if score < best_score:
+            best_score = score
+            best_quad = quad
+    assert best_quad is not None
+    return best_quad, best_score

@@ -1,0 +1,48 @@
+"""Generic helpers for ``(3,)*k`` contingency tables (possibly batched)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def marginalize(table: np.ndarray, axis: int, order: int) -> np.ndarray:
+    """Sum a ``k``-th order table over one SNP axis, giving the ``k-1`` table.
+
+    Args:
+        table: array whose last ``order`` axes are the genotype axes
+            (each of size 3); leading axes are batch dimensions.
+        axis: genotype axis to remove, in ``[0, order)``.
+        order: interaction order ``k``.
+    """
+    if not 0 <= axis < order:
+        raise ValueError(f"axis must be in [0, {order}), got {axis}")
+    if table.ndim < order:
+        raise ValueError(
+            f"table has {table.ndim} dims, fewer than order {order}"
+        )
+    return table.sum(axis=table.ndim - order + axis)
+
+
+def validate_table(table: np.ndarray, order: int, total: int | None = None) -> None:
+    """Sanity-check a contingency table.
+
+    Verifies the genotype axes have size 3, all counts are non-negative and
+    (optionally) that the table sums to ``total`` per batch element.
+
+    Raises:
+        ValueError: on any violation.
+    """
+    if table.ndim < order:
+        raise ValueError(f"table has {table.ndim} dims, fewer than order {order}")
+    if table.shape[table.ndim - order :] != (3,) * order:
+        raise ValueError(
+            f"last {order} axes must each have size 3, got shape {table.shape}"
+        )
+    if table.size and table.min() < 0:
+        raise ValueError("contingency table has negative counts")
+    if total is not None:
+        sums = table.sum(axis=tuple(range(table.ndim - order, table.ndim)))
+        if not np.all(sums == total):
+            raise ValueError(
+                f"table sums {np.unique(sums)} do not all equal N={total}"
+            )

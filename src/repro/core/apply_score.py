@@ -1,0 +1,138 @@
+"""``applyScore``: completion + scoring + masking for one evaluation round.
+
+Takes the per-class fourth-order corners (16 counts/quad from the tensor
+GEMM) and the third-order corner slices for the four contained triplets,
+completes everything to full 81-cell tables per class (§3.3), scores every
+quad, and masks out non-useful positions (repeated/unsorted quads and
+padding).  Memory is bounded by chunking along the ``w`` axis, mirroring how
+the CUDA kernel never materializes all 81 counts for a whole round at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.contingency.complete import complete_quad
+from repro.core.threeway import complete_threeway
+
+#: Default cap on materialized table cells per chunk (per class), in cells.
+DEFAULT_MAX_CHUNK_CELLS = 32 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class RoundOperands:
+    """Everything ``applyScore`` needs for one evaluation round.
+
+    All corner arrays are tuples ``(controls, cases)``.
+
+    Attributes:
+        corner4: per class ``(B, B, B, B, 2, 2, 2, 2)`` from ``tensorOp_4way``.
+        corner3_wxy: per class ``(B, B, B, 2, 2, 2)`` slice of the ``wx``
+            sweep at the ``Y`` block.
+        corner3_wxz: per class slice of the ``wx`` sweep at the ``Z`` block.
+        corner3_wyz: per class slice of the ``wy`` sweep at the ``Z`` block.
+        corner3_xyz: per class slice of the ``xy`` sweep at the ``Z`` block.
+        offsets: global first-SNP indices ``(wo, xo, yo, zo)`` of the blocks.
+        block_size: ``B``.
+    """
+
+    corner4: tuple[np.ndarray, np.ndarray]
+    corner3_wxy: tuple[np.ndarray, np.ndarray]
+    corner3_wxz: tuple[np.ndarray, np.ndarray]
+    corner3_wyz: tuple[np.ndarray, np.ndarray]
+    corner3_xyz: tuple[np.ndarray, np.ndarray]
+    offsets: tuple[int, int, int, int]
+    block_size: int
+
+
+def round_validity_mask(
+    offsets: tuple[int, int, int, int], block_size: int, n_real_snps: int
+) -> np.ndarray:
+    """Boolean ``(B, B, B, B)`` mask of *useful* quad positions.
+
+    A position is useful iff its global indices are strictly increasing
+    (``w < x < y < z`` — each distinct combination is scored exactly once
+    across the whole search) and within the unpadded SNP range.
+    """
+    b = block_size
+    wo, xo, yo, zo = offsets
+    w = np.arange(wo, wo + b)
+    x = np.arange(xo, xo + b)
+    y = np.arange(yo, yo + b)
+    z = np.arange(zo, zo + b)
+    return (
+        (w[:, None, None, None] < x[None, :, None, None])
+        & (x[None, :, None, None] < y[None, None, :, None])
+        & (y[None, None, :, None] < z[None, None, None, :])
+        & (z[None, None, None, :] < n_real_snps)
+    )
+
+
+def apply_score(
+    operands: RoundOperands,
+    pairs: np.ndarray,
+    score_min_fn,
+    n_real_snps: int,
+    *,
+    max_chunk_cells: int = DEFAULT_MAX_CHUNK_CELLS,
+) -> np.ndarray:
+    """Score every quad of a round; non-useful positions become ``+inf``.
+
+    Args:
+        operands: the round's tensor outputs, see :class:`RoundOperands`.
+        pairs: ``(2, M, M, 3, 3)`` full pairwise tables (both classes).
+        score_min_fn: batched score callable ``(t0, t1, order=4) -> scores``
+            already normalized so lower is better.
+        n_real_snps: unpadded SNP count (padding exclusion).
+        max_chunk_cells: bound on materialized 81-cell-table cells per class
+            per chunk; controls peak memory.
+
+    Returns:
+        ``(B, B, B, B)`` float64 scores with ``+inf`` at masked positions.
+    """
+    b = operands.block_size
+    wo, xo, yo, zo = operands.offsets
+    w_idx = np.arange(wo, wo + b)
+    x_idx = np.arange(xo, xo + b)
+    y_idx = np.arange(yo, yo + b)
+    z_idx = np.arange(zo, zo + b)
+
+    # Triplets without a w axis are shared across w chunks: complete once.
+    full3_xyz = [
+        complete_threeway(operands.corner3_xyz[cls], pairs[cls], x_idx, y_idx, z_idx)
+        for cls in (0, 1)
+    ]
+
+    cells_per_w = b * b * b * 81
+    chunk_w = max(1, min(b, max_chunk_cells // max(cells_per_w, 1)))
+
+    scores = np.empty((b, b, b, b), dtype=np.float64)
+    for w0 in range(0, b, chunk_w):
+        w1 = min(w0 + chunk_w, b)
+        tables = []
+        for cls in (0, 1):
+            full3_wxy = complete_threeway(
+                operands.corner3_wxy[cls][w0:w1], pairs[cls], w_idx[w0:w1], x_idx, y_idx
+            )
+            full3_wxz = complete_threeway(
+                operands.corner3_wxz[cls][w0:w1], pairs[cls], w_idx[w0:w1], x_idx, z_idx
+            )
+            full3_wyz = complete_threeway(
+                operands.corner3_wyz[cls][w0:w1], pairs[cls], w_idx[w0:w1], y_idx, z_idx
+            )
+            tables.append(
+                complete_quad(
+                    operands.corner4[cls][w0:w1],
+                    full3_wxy[:, :, :, None],   # (Wc, B, B, 1, 3, 3, 3)
+                    full3_wxz[:, :, None, :],   # (Wc, B, 1, B, 3, 3, 3)
+                    full3_wyz[:, None, :, :],   # (Wc, 1, B, B, 3, 3, 3)
+                    full3_xyz[cls][None],       # (1, B, B, B, 3, 3, 3)
+                )
+            )
+        scores[w0:w1] = score_min_fn(tables[0], tables[1], order=4)
+
+    mask = round_validity_mask(operands.offsets, b, n_real_snps)
+    scores[~mask] = np.inf
+    return scores

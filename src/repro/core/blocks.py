@@ -1,0 +1,134 @@
+"""Block combination scheme (paper §3.2) and its combinatorics.
+
+SNPs are processed in contiguous blocks of ``B``.  An *evaluation round*
+combines four blocks ``(Wi <= Xi <= Yi <= Zi)`` (block indices) and evaluates
+all ``B^4`` positional quads of those blocks, so the whole search runs
+
+    C(nb + 3, 4)        rounds (multisets of 4 out of nb blocks), covering
+    C(nb + 3, 4) * B^4  positional quads,
+
+of which only the ``C(M, 4)`` strictly-increasing index quads are *useful*.
+The ratio of useful work is the quantity the paper reports in §4.5
+(50.5/69.6/83.0/90.9% for B=32 at M=256/512/1024/2048) and is what makes
+larger datasets and smaller blocks proportionally more efficient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import comb
+from typing import Iterator
+
+
+def num_blocks(n_snps: int, block_size: int) -> int:
+    """Number of blocks ``nb = M / B`` (``M`` must be a block multiple)."""
+    if block_size <= 0:
+        raise ValueError(f"block_size must be > 0, got {block_size}")
+    if n_snps <= 0 or n_snps % block_size:
+        raise ValueError(
+            f"n_snps={n_snps} must be a positive multiple of block_size={block_size} "
+            "(pad the dataset first)"
+        )
+    return n_snps // block_size
+
+
+def iter_rounds(nb: int) -> Iterator[tuple[int, int, int, int]]:
+    """Yield every evaluation round ``(Wi, Xi, Yi, Zi)``, ``Wi<=Xi<=Yi<=Zi``.
+
+    Iteration order matches Algorithm 1's nested loops (lexicographic), which
+    also makes the within-search reduction deterministic.
+    """
+    for wi in range(nb):
+        for xi in range(wi, nb):
+            for yi in range(xi, nb):
+                for zi in range(yi, nb):
+                    yield (wi, xi, yi, zi)
+
+
+def rounds_for_outer(wi: int, nb: int) -> int:
+    """Number of rounds executed by outer iteration ``Wi = wi``.
+
+    This is the unit of multi-GPU work division (§3.6); it decreases with
+    ``wi``, which is why the dynamic schedule matters.
+    """
+    if not 0 <= wi < nb:
+        raise ValueError(f"wi must be in [0, {nb}), got {wi}")
+    return comb(nb - wi + 2, 3)
+
+
+def count_rounds(nb: int) -> int:
+    """Total number of evaluation rounds: ``C(nb + 3, 4)``."""
+    if nb <= 0:
+        raise ValueError(f"nb must be > 0, got {nb}")
+    return comb(nb + 3, 4)
+
+
+def total_quads_processed(n_snps: int, block_size: int) -> int:
+    """Positional quads evaluated by the full search (incl. repeats)."""
+    nb = num_blocks(n_snps, block_size)
+    return count_rounds(nb) * block_size**4
+
+
+def unique_combinations(n_snps: int, order: int = 4) -> int:
+    """``C(M, order)`` — the number of distinct SNP sets to evaluate."""
+    if n_snps < order:
+        raise ValueError(f"need at least {order} SNPs, got {n_snps}")
+    return comb(n_snps, order)
+
+
+def useful_ratio(n_snps: int, block_size: int, n_real_snps: int | None = None) -> float:
+    """Fraction of processed quads that are unique combinations.
+
+    Args:
+        n_snps: padded SNP count (block multiple).
+        block_size: ``B``.
+        n_real_snps: unpadded SNP count, if the dataset was padded; defaults
+            to ``n_snps``.
+    """
+    real = n_snps if n_real_snps is None else n_real_snps
+    return unique_combinations(real) / total_quads_processed(n_snps, block_size)
+
+
+@dataclass(frozen=True)
+class BlockScheme:
+    """Resolved block layout for one search."""
+
+    n_snps: int
+    n_real_snps: int
+    block_size: int
+
+    def __post_init__(self) -> None:
+        num_blocks(self.n_snps, self.block_size)  # validates
+        if not 0 < self.n_real_snps <= self.n_snps:
+            raise ValueError(
+                f"n_real_snps={self.n_real_snps} out of range (0, {self.n_snps}]"
+            )
+
+    @property
+    def nb(self) -> int:
+        return num_blocks(self.n_snps, self.block_size)
+
+    @property
+    def n_rounds(self) -> int:
+        return count_rounds(self.nb)
+
+    @property
+    def quads_processed(self) -> int:
+        return total_quads_processed(self.n_snps, self.block_size)
+
+    @property
+    def unique_quads(self) -> int:
+        return unique_combinations(self.n_real_snps)
+
+    @property
+    def useful_fraction(self) -> float:
+        return useful_ratio(self.n_snps, self.block_size, self.n_real_snps)
+
+    def rounds(self) -> Iterator[tuple[int, int, int, int]]:
+        return iter_rounds(self.nb)
+
+    def block_start(self, block_index: int) -> int:
+        """First SNP index of a block."""
+        if not 0 <= block_index < self.nb:
+            raise IndexError(f"block index {block_index} out of range [0, {self.nb})")
+        return block_index * self.block_size

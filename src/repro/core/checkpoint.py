@@ -1,0 +1,116 @@
+"""Checkpoint/resume for long searches.
+
+The paper's largest single-GPU run takes ~14.5 hours; production use needs
+to survive pre-emption.  The natural checkpoint granularity is the §3.6
+work-division unit — one outer (``Wi``) iteration: after each completed
+iteration the set of finished iterations plus the current top-k candidates
+fully determine the remaining work, because a dropped candidate can never
+re-enter a top-k reduction.
+
+The checkpoint is a small JSON file keyed by a configuration fingerprint;
+resuming under a different dataset/configuration is refused.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from repro.core.reduction import TopKReducer
+from repro.core.solution import Solution
+
+
+@dataclass
+class SearchCheckpoint:
+    """Mutable resume state for one search.
+
+    Attributes:
+        fingerprint: dataset + configuration identity string.
+        completed: outer iterations already fully processed.
+        solutions: current top-k candidates.
+    """
+
+    fingerprint: str
+    completed: set[int] = field(default_factory=set)
+    solutions: list[Solution] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def load(cls, path: str | os.PathLike, fingerprint: str) -> "SearchCheckpoint":
+        """Load a checkpoint, or start fresh if ``path`` does not exist.
+
+        Raises:
+            ValueError: if the file exists but belongs to a different
+                dataset/configuration.
+        """
+        path = os.fspath(path)
+        if not os.path.exists(path):
+            return cls(fingerprint=fingerprint)
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        if payload.get("fingerprint") != fingerprint:
+            raise ValueError(
+                f"checkpoint {path} belongs to a different search "
+                f"(fingerprint {payload.get('fingerprint')!r}, expected "
+                f"{fingerprint!r}); delete it or change the path"
+            )
+        return cls(
+            fingerprint=fingerprint,
+            completed=set(int(i) for i in payload["completed"]),
+            solutions=[
+                Solution(score=float(s), packed=int(p))
+                for s, p in payload["solutions"]
+            ],
+        )
+
+    def save(self, path: str | os.PathLike) -> None:
+        """Atomically write the checkpoint (write-then-rename)."""
+        path = os.fspath(path)
+        payload = {
+            "fingerprint": self.fingerprint,
+            "completed": sorted(self.completed),
+            "solutions": [[s.score, s.packed] for s in self.solutions],
+        }
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh)
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------ #
+
+    def seed_reducer(self, reducer: TopKReducer) -> None:
+        """Re-inject saved candidates into a fresh reducer."""
+        seed = TopKReducer(max(reducer.k, 1))
+        seed._solutions = list(self.solutions)
+        reducer.merge(seed)
+
+    def record(self, wi: int, reducer: TopKReducer) -> None:
+        """Mark one outer iteration finished and snapshot the candidates."""
+        self.completed.add(int(wi))
+        self.solutions = reducer.result()
+
+
+def search_fingerprint(
+    n_snps: int,
+    n_real_snps: int,
+    n_controls: int,
+    n_cases: int,
+    block_size: int,
+    engine_kind: str,
+    score_name: str,
+    top_k: int,
+    partition: str,
+    n_gpus: int,
+) -> str:
+    """Stable identity of a search's dataset shape + configuration.
+
+    Deliberately shape-based (not content-hashed): hashing a multi-GB
+    dataset on every resume would defeat the purpose; the guard catches the
+    realistic failure mode (resuming with the wrong file or settings).
+    """
+    return (
+        f"M{n_snps}r{n_real_snps}c{n_controls}k{n_cases}B{block_size}"
+        f"E{engine_kind}S{score_name}K{top_k}P{partition}G{n_gpus}"
+    )

@@ -1,0 +1,593 @@
+"""The Epi4Tensor search driver — Algorithm 1 of the paper.
+
+Single entry point for exhaustive fourth-order epistasis detection over the
+simulated tensor-core substrate:
+
+1. binarize (and pad) the dataset, "transfer" it to every device;
+2. precompute ``indivPop``/``pairwPop`` and the lgamma lookup table;
+3. run the four nested block loops.  Per ``(Wi, Xi)``: combine ``W x X`` and
+   sweep the third-order corners for every tail SNP; per ``(Wi, Xi, Yi)``:
+   combine/sweep ``W x Y`` and ``X x Y``; per round ``(Wi, Xi, Yi, Zi)``:
+   combine ``Y x Z``, run the 4-way tensor GEMM, complete + score + reduce;
+4. multi-GPU: outer (``Wi``) iterations are dynamically scheduled over the
+   cluster (§3.6); each device reduces locally, the host reduces at the end.
+
+The tensor GEMMs run for real (exact integer results); device time is
+*accounted*, not emulated — see :mod:`repro.device` and
+:mod:`repro.perfmodel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.bitops.bitmatrix import BitMatrix
+from repro.core.apply_score import (
+    DEFAULT_MAX_CHUNK_CELLS,
+    RoundOperands,
+    apply_score,
+)
+from repro.core.blocks import BlockScheme
+from repro.core.pairwise import LowOrderTables, pairw_pop
+from repro.core.reduction import TopKReducer, reduce_solutions
+from repro.core.solution import MAX_SNP_INDEX, Solution
+from repro.datasets.dataset import Dataset
+from repro.datasets.encoding import EncodedDataset, encode_dataset
+from repro.device.cluster import ScheduleResult, VirtualCluster
+from repro.device.specs import A100_PCIE, GPUSpec
+from repro.device.virtual_gpu import KernelCounters, VirtualGPU
+from repro.perfmodel.workload import outer_iteration_tensor_ops
+from repro.scoring import make_score
+from repro.scoring.base import ScoreFunction, normalized_for_minimization
+from repro.scoring.k2 import K2Score
+from repro.scoring.lgamma_table import LgammaTable
+from repro.utils.timing import Timer
+
+
+@dataclass(frozen=True)
+class SearchConfig:
+    """Tunables of one search run.
+
+    Attributes:
+        block_size: ``B``, SNPs per block (paper default 32; smaller values
+            are appropriate for CPU-simulated runs).
+        engine_kind: ``"and_popc"``, ``"xor_popc"`` or ``None`` (pick the
+            device's native kind).
+        engine_mode: ``"dense"`` (BLAS path) or ``"packed"`` (bitwise path).
+        score: a :class:`~repro.scoring.ScoreFunction` or registry name.
+        n_streams: concurrent evaluation rounds modelled per device (affects
+            projected time only; results are identical).
+        sample_chunk_bits: if set, split every tensor GEMM's sample (K)
+            dimension into chunks of this many bits and sum the partial
+            corners — the paper's mitigation for the Turing large-``N``
+            cliff.  Must be a multiple of 64.
+        max_chunk_cells: peak materialized table cells in ``applyScore``.
+        top_k: number of ranked solutions to report (1 = the paper's
+            single-best reduction).
+        selfcheck: re-derive every round's best quad through an independent
+            bitwise path and abort on any disagreement (paranoia mode for
+            long production runs; see :mod:`repro.core.selfcheck`).
+        partition: multi-GPU work division. ``"outer"`` is the paper's
+            scheme (outer-loop iterations, dynamic schedule, no inter-GPU
+            communication).  ``"samples"`` is the §4.6 alternative the
+            authors evaluated and rejected: every GPU processes *all*
+            rounds over its own sample range and the partial contingency
+            corners are summed before scoring — functionally identical,
+            but each GPU's GEMMs shrink along K, which is why it loses.
+    """
+
+    block_size: int = 16
+    engine_kind: str | None = None
+    engine_mode: str = "dense"
+    score: str | ScoreFunction = "k2"
+    n_streams: int = 1
+    sample_chunk_bits: int | None = None
+    max_chunk_cells: int = DEFAULT_MAX_CHUNK_CELLS
+    top_k: int = 1
+    partition: str = "outer"
+    selfcheck: bool = False
+
+    def __post_init__(self) -> None:
+        if self.block_size < 2:
+            raise ValueError(f"block_size must be >= 2, got {self.block_size}")
+        if self.n_streams < 1:
+            raise ValueError(f"n_streams must be >= 1, got {self.n_streams}")
+        if self.sample_chunk_bits is not None and (
+            self.sample_chunk_bits <= 0 or self.sample_chunk_bits % 64
+        ):
+            raise ValueError(
+                "sample_chunk_bits must be a positive multiple of 64, "
+                f"got {self.sample_chunk_bits}"
+            )
+        if self.top_k < 1:
+            raise ValueError(f"top_k must be >= 1, got {self.top_k}")
+        if self.partition not in ("outer", "samples"):
+            raise ValueError(
+                f"partition must be 'outer' or 'samples', got {self.partition!r}"
+            )
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a search: the best quad plus full execution accounting.
+
+    Attributes:
+        solution: best quad + score (lower is better after normalization).
+        top_solutions: the ``config.top_k`` best quads, ranked (best first).
+        block_scheme: resolved block layout (incl. useful-work ratio).
+        counters: merged kernel counters over all devices.
+        per_device_counters: one :class:`KernelCounters` per device.
+        schedule: the multi-GPU outer-loop schedule (also set for 1 GPU).
+        phase_seconds: wall time by phase (``combine``, ``tensor3``,
+            ``tensor4``, ``score``, ``pairwise``, ``encode``).
+        wall_seconds: end-to-end wall time of :meth:`Epi4TensorSearch.run`.
+        n_samples: ``N`` used for the scaled-quads metric.
+        spec_name / engine_name / n_devices: provenance.
+    """
+
+    solution: Solution
+    top_solutions: list[Solution]
+    block_scheme: BlockScheme
+    counters: KernelCounters
+    per_device_counters: list[KernelCounters]
+    schedule: ScheduleResult
+    phase_seconds: dict[str, float]
+    wall_seconds: float
+    n_samples: int
+    spec_name: str
+    engine_name: str
+    n_devices: int
+
+    @property
+    def best_quad(self) -> tuple[int, int, int, int]:
+        return self.solution.quad
+
+    @property
+    def best_score(self) -> float:
+        return self.solution.score
+
+    @property
+    def quads_per_second_scaled(self) -> float:
+        """Measured unique quads x samples per wall second (the paper's
+        headline metric, computed on the *simulator's* wall clock)."""
+        if self.wall_seconds <= 0:
+            return float("inf")
+        return self.block_scheme.unique_quads * self.n_samples / self.wall_seconds
+
+
+class Epi4TensorSearch:
+    """Exhaustive fourth-order search on a (simulated) GPU system.
+
+    Args:
+        dataset: a raw :class:`Dataset` (it will be encoded and padded) or a
+            pre-encoded :class:`EncodedDataset` whose SNP count is already a
+            multiple of the block size.
+        config: search tunables.
+        spec: GPU model to account against (default: A100 PCIe, system S2).
+        n_gpus: devices in the simulated system.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset | EncodedDataset,
+        config: SearchConfig | None = None,
+        *,
+        spec: GPUSpec = A100_PCIE,
+        n_gpus: int = 1,
+    ) -> None:
+        self.config = config or SearchConfig()
+        self.spec = spec
+        encode_timer = Timer()
+        if isinstance(dataset, Dataset):
+            if dataset.n_snps < 4:
+                raise ValueError(f"need at least 4 SNPs, got {dataset.n_snps}")
+            with encode_timer:
+                encoded = encode_dataset(dataset, block_size=self.config.block_size)
+        else:
+            encoded = dataset
+            if encoded.n_snps % self.config.block_size:
+                raise ValueError(
+                    f"encoded dataset has {encoded.n_snps} SNPs, not a multiple "
+                    f"of block_size={self.config.block_size}; encode with padding"
+                )
+        if encoded.n_snps - 1 > MAX_SNP_INDEX:
+            raise ValueError(
+                f"{encoded.n_snps} SNPs exceed the 16-bit index limit "
+                f"({MAX_SNP_INDEX + 1})"
+            )
+        self.encoded = encoded
+        self.scheme = BlockScheme(
+            n_snps=encoded.n_snps,
+            n_real_snps=encoded.n_real_snps,
+            block_size=self.config.block_size,
+        )
+        kind = self.config.engine_kind or spec.native_engine_kind
+        if kind == "and_popc" and not spec.supports_and_popc:
+            raise ValueError(
+                f"{spec.name} does not support AND+POPC; use engine_kind='xor_popc'"
+            )
+        # §3.3's design constraint, enforced up front: the configured search
+        # must fit the modelled device's memory.
+        from repro.device.memory import check_fits, estimate_search_memory
+
+        self.memory_estimate = estimate_search_memory(
+            encoded.n_snps,
+            encoded.n_controls,
+            encoded.n_cases,
+            self.config.block_size,
+            max_chunk_cells=self.config.max_chunk_cells,
+        )
+        check_fits(spec, self.memory_estimate)
+        self.cluster = VirtualCluster(
+            spec, n_gpus, mode=self.config.engine_mode, engine_kind=kind
+        )
+        score = self.config.score
+        if isinstance(score, str):
+            if score == "k2":
+                score = K2Score(LgammaTable.for_samples(encoded.n_samples))
+            else:
+                score = make_score(score)
+        self._score_min = normalized_for_minimization(score)
+        self._score_name = score.name
+        self._phase = {
+            name: Timer()
+            for name in ("encode", "pairwise", "combine", "tensor3", "tensor4", "score")
+        }
+        self._phase["encode"].elapsed = encode_timer.elapsed
+        self._low: LowOrderTables | None = None
+        self._progress_callback = None
+        self._rounds_done = 0
+        self._global_reducer = TopKReducer(self.config.top_k)
+
+    # ------------------------------------------------------------------ #
+
+    def run(self, progress_callback=None, checkpoint_path=None) -> SearchResult:
+        """Execute the full search and return the globally best quad.
+
+        Args:
+            progress_callback: optional ``fn(completed_rounds, total_rounds,
+                best_so_far)`` invoked after every evaluation round —
+                multi-hour searches can report status or feed a UI.
+            checkpoint_path: optional path; resume state is loaded from it
+                (if present and matching this configuration) and re-saved
+                after every completed outer iteration.  A resumed run skips
+                finished iterations; its counters/timers cover only the
+                work actually re-executed.
+        """
+        from repro.core.checkpoint import SearchCheckpoint, search_fingerprint
+
+        self._progress_callback = progress_callback
+        self._rounds_done = 0
+        checkpoint: SearchCheckpoint | None = None
+        if checkpoint_path is not None:
+            checkpoint = SearchCheckpoint.load(
+                checkpoint_path,
+                search_fingerprint(
+                    self.scheme.n_snps,
+                    self.scheme.n_real_snps,
+                    self.encoded.n_controls,
+                    self.encoded.n_cases,
+                    self.config.block_size,
+                    self.cluster.gpus[0].engine.name,
+                    self._score_name,
+                    self.config.top_k,
+                    self.config.partition,
+                    self.cluster.n_gpus,
+                ),
+            )
+
+        total_timer = Timer()
+        with total_timer:
+            schedule = self._make_schedule()
+            self._prepare_devices()
+            reducer = TopKReducer(self.config.top_k)
+            self._global_reducer = reducer
+            done: set[int] = set()
+            if checkpoint is not None:
+                checkpoint.seed_reducer(reducer)
+                done = set(checkpoint.completed)
+
+            def run_iteration(executor, wi: int) -> None:
+                reducer.merge(self._run_rounds(executor, [wi]))
+                if checkpoint is not None:
+                    checkpoint.record(wi, reducer)
+                    checkpoint.save(checkpoint_path)
+
+            if self.config.partition == "samples" and self.cluster.n_gpus > 1:
+                # §4.6 alternative scheme: every device runs every round
+                # over its own sample range; one pass, merged corners.
+                executor = _SamplePartitionExecutor(self, self.cluster.gpus)
+                for wi in range(self.scheme.nb):
+                    if wi not in done:
+                        run_iteration(executor, wi)
+            else:
+                for gpu, outer_iters in zip(
+                    self.cluster.gpus, schedule.assignment
+                ):
+                    executor = _SingleDeviceExecutor(self, gpu)
+                    for wi in outer_iters:
+                        if wi not in done:
+                            run_iteration(executor, wi)
+            top = reducer.result()
+            solution = top[0] if top else reduce_solutions([])
+
+        merged = KernelCounters()
+        for gpu in self.cluster.gpus:
+            merged.merge(gpu.counters)
+        return SearchResult(
+            solution=solution,
+            top_solutions=top,
+            block_scheme=self.scheme,
+            counters=merged,
+            per_device_counters=[gpu.counters for gpu in self.cluster.gpus],
+            schedule=schedule,
+            phase_seconds={name: t.elapsed for name, t in self._phase.items()},
+            wall_seconds=total_timer.elapsed,
+            n_samples=self.encoded.n_samples,
+            spec_name=self.spec.name,
+            engine_name=self.cluster.gpus[0].engine.name,
+            n_devices=self.cluster.n_gpus,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Phases
+
+    def _make_schedule(self) -> ScheduleResult:
+        costs = [
+            float(
+                outer_iteration_tensor_ops(
+                    wi, self.scheme.nb, self.scheme.block_size, self.encoded.n_samples
+                )
+            )
+            for wi in range(self.scheme.nb)
+        ]
+        return self.cluster.schedule(costs)
+
+    def _prepare_devices(self) -> None:
+        """Dataset transfer + low-order precomputation (indivPop/pairwPop).
+
+        As in §3.6, every device receives the full dataset and a full copy
+        of the lgamma table and low-order tables; the precomputation itself
+        is done once (its cost is accounted on every device).
+        """
+        with self._phase["pairwise"]:
+            self._low = pairw_pop(self.encoded)
+        m, n = self.encoded.n_snps, self.encoded.n_samples
+        for gpu in self.cluster.gpus:
+            gpu.transfer_to_device(self.encoded.nbytes)
+            gpu.launch_pairwise(2 * (2 * m) * (2 * m) * n)
+
+    def _run_device(self, gpu: VirtualGPU, outer_iters: Iterable[int]) -> TopKReducer:
+        """Run all assigned outer (``Wi``) iterations on one device.
+
+        Returns the device-local reduction (§3.6: "Locally best scores are
+        reduced inside each GPU").
+        """
+        executor = _SingleDeviceExecutor(self, gpu)
+        return self._run_rounds(executor, outer_iters)
+
+    def _run_rounds(
+        self, executor: "_KernelExecutor", outer_iters: Iterable[int]
+    ) -> TopKReducer:
+        """The Algorithm 1 loop nest over one executor's kernel primitives."""
+        assert self._low is not None, "_prepare_devices must run first"
+        b = self.scheme.block_size
+        nb = self.scheme.nb
+        m = self.scheme.n_snps
+        reducer = TopKReducer(self.config.top_k)
+
+        for wi in outer_iters:
+            wo = wi * b
+            for xi in range(wi, nb):
+                xo = xi * b
+                wx = [executor.combine(c, wo, xo) for c in (0, 1)]
+                sweep_wx = [executor.gemm3(wx[c], c, xo, m) for c in (0, 1)]
+                for yi in range(xi, nb):
+                    yo = yi * b
+                    wy = [executor.combine(c, wo, yo) for c in (0, 1)]
+                    xy = [executor.combine(c, xo, yo) for c in (0, 1)]
+                    sweep_wy = [
+                        executor.gemm3(wy[c], c, yo, m) for c in (0, 1)
+                    ]
+                    sweep_xy = [
+                        executor.gemm3(xy[c], c, yo, m) for c in (0, 1)
+                    ]
+                    for zi in range(yi, nb):
+                        zo = zi * b
+                        yz = [executor.combine(c, yo, zo) for c in (0, 1)]
+                        corner4 = [
+                            executor.gemm4(wx[c], yz[c], c) for c in (0, 1)
+                        ]
+                        operands = RoundOperands(
+                            corner4=(corner4[0], corner4[1]),
+                            corner3_wxy=tuple(
+                                s[:, :, yo - xo : yo - xo + b] for s in sweep_wx
+                            ),
+                            corner3_wxz=tuple(
+                                s[:, :, zo - xo : zo - xo + b] for s in sweep_wx
+                            ),
+                            corner3_wyz=tuple(
+                                s[:, :, zo - yo : zo - yo + b] for s in sweep_wy
+                            ),
+                            corner3_xyz=tuple(
+                                s[:, :, zo - yo : zo - yo + b] for s in sweep_xy
+                            ),
+                            offsets=(wo, xo, yo, zo),
+                            block_size=b,
+                        )
+                        with self._phase["score"]:
+                            scores = apply_score(
+                                operands,
+                                self._low.pairs,
+                                self._score_min,
+                                self.scheme.n_real_snps,
+                                max_chunk_cells=self.config.max_chunk_cells,
+                            )
+                            executor.account_score(b**4 * 81 * 2)
+                            reducer.add_round(scores, operands.offsets)
+                        if self.config.selfcheck:
+                            from repro.core.selfcheck import verify_round_best
+
+                            verify_round_best(
+                                self.encoded,
+                                scores,
+                                operands.offsets,
+                                self._score_min,
+                            )
+                        if self._progress_callback is not None:
+                            self._rounds_done += 1
+                            best_so_far = min(
+                                reducer.best, self._global_reducer.best
+                            )
+                            self._progress_callback(
+                                self._rounds_done,
+                                self.scheme.n_rounds,
+                                best_so_far,
+                            )
+        return reducer
+
+
+class _SingleDeviceExecutor:
+    """Kernel launches on one device (the paper's outer-partition scheme).
+
+    Operand handles are plain :class:`BitMatrix` objects; when
+    ``sample_chunk_bits`` is configured, every tensor GEMM is split along
+    the sample (K) dimension and the partial corners summed (§4.5's Turing
+    large-N mitigation).
+    """
+
+    def __init__(self, search: "Epi4TensorSearch", gpu: VirtualGPU) -> None:
+        self._search = search
+        self._gpu = gpu
+        self._planes = [search.encoded.class_matrix(cls) for cls in (0, 1)]
+
+    def combine(self, cls: int, off_a: int, off_b: int) -> BitMatrix:
+        with self._search._phase["combine"]:
+            return self._gpu.launch_combine(
+                self._planes[cls], off_a, off_b, self._search.scheme.block_size
+            )
+
+    def gemm3(
+        self, combined: BitMatrix, cls: int, t_start: int, t_stop: int
+    ) -> np.ndarray:
+        b = self._search.scheme.block_size
+        chunk = self._search.config.sample_chunk_bits
+        planes = self._planes[cls]
+        with self._search._phase["tensor3"]:
+            if chunk is None or chunk >= combined.n_bits:
+                return self._gpu.launch_tensor3(
+                    combined, planes, t_start, t_stop, b
+                )
+            total: np.ndarray | None = None
+            for combined_part, planes_part in zip(
+                combined.split_bits(chunk), planes.split_bits(chunk)
+            ):
+                part = self._gpu.launch_tensor3(
+                    combined_part, planes_part, t_start, t_stop, b
+                )
+                total = part if total is None else total + part
+            assert total is not None
+            return total
+
+    def gemm4(self, wx: BitMatrix, yz: BitMatrix, cls: int) -> np.ndarray:
+        b = self._search.scheme.block_size
+        chunk = self._search.config.sample_chunk_bits
+        with self._search._phase["tensor4"]:
+            if chunk is None or chunk >= wx.n_bits:
+                return self._gpu.launch_tensor4(wx, yz, b)
+            total: np.ndarray | None = None
+            for wx_part, yz_part in zip(
+                wx.split_bits(chunk), yz.split_bits(chunk)
+            ):
+                part = self._gpu.launch_tensor4(wx_part, yz_part, b)
+                total = part if total is None else total + part
+            assert total is not None
+            return total
+
+    def account_score(self, n_cells: int) -> None:
+        self._gpu.account_score_cells(n_cells)
+
+
+class _SamplePartitionExecutor:
+    """Kernel launches fanned across devices by sample range (§4.6's
+    alternative parallelization scheme).
+
+    Every device runs every round over its own word-aligned sample chunk;
+    partial corners are summed ("combining the frequency counts for each
+    genotype configuration between GPUs").  Operand handles are per-device
+    lists of combined chunks.
+    """
+
+    def __init__(
+        self, search: "Epi4TensorSearch", gpus: list[VirtualGPU]
+    ) -> None:
+        self._search = search
+        self._gpus = gpus
+        self._plane_chunks: list[list[BitMatrix]] = []
+        for cls in (0, 1):
+            planes = search.encoded.class_matrix(cls)
+            chunk_words = max(1, -(-planes.n_words // len(gpus)))
+            self._plane_chunks.append(planes.split_bits(chunk_words * 64))
+
+    def _active(self, cls: int) -> list[tuple[VirtualGPU, BitMatrix]]:
+        # Narrow sample counts can yield fewer chunks than devices; the
+        # surplus devices simply idle for that class.
+        chunks = self._plane_chunks[cls]
+        return list(zip(self._gpus, chunks))
+
+    def combine(self, cls: int, off_a: int, off_b: int) -> list[BitMatrix]:
+        b = self._search.scheme.block_size
+        with self._search._phase["combine"]:
+            return [
+                gpu.launch_combine(chunk, off_a, off_b, b)
+                for gpu, chunk in self._active(cls)
+            ]
+
+    def gemm3(
+        self, combined: list[BitMatrix], cls: int, t_start: int, t_stop: int
+    ) -> np.ndarray:
+        b = self._search.scheme.block_size
+        with self._search._phase["tensor3"]:
+            total: np.ndarray | None = None
+            for (gpu, planes_chunk), combined_chunk in zip(
+                self._active(cls), combined
+            ):
+                part = gpu.launch_tensor3(
+                    combined_chunk, planes_chunk, t_start, t_stop, b
+                )
+                total = part if total is None else total + part
+            assert total is not None
+            return total
+
+    def gemm4(
+        self, wx: list[BitMatrix], yz: list[BitMatrix], cls: int
+    ) -> np.ndarray:
+        b = self._search.scheme.block_size
+        with self._search._phase["tensor4"]:
+            total: np.ndarray | None = None
+            for (gpu, _), wx_chunk, yz_chunk in zip(self._active(cls), wx, yz):
+                part = gpu.launch_tensor4(wx_chunk, yz_chunk, b)
+                total = part if total is None else total + part
+            assert total is not None
+            return total
+
+    def account_score(self, n_cells: int) -> None:
+        # Scoring of the merged tables runs on the first device.
+        self._gpus[0].account_score_cells(n_cells)
+
+
+def search_best_quad(
+    dataset: Dataset,
+    *,
+    block_size: int = 16,
+    score: str | ScoreFunction = "k2",
+    spec: GPUSpec = A100_PCIE,
+    n_gpus: int = 1,
+    engine_kind: str | None = None,
+) -> SearchResult:
+    """One-call convenience wrapper around :class:`Epi4TensorSearch`."""
+    config = SearchConfig(block_size=block_size, score=score, engine_kind=engine_kind)
+    return Epi4TensorSearch(dataset, config, spec=spec, n_gpus=n_gpus).run()

@@ -1,0 +1,40 @@
+"""Case-control SNP dataset model, synthetic generation, encoding and I/O.
+
+The public entry points are:
+
+- :class:`repro.datasets.Dataset` — genotype matrix + phenotype vector.
+- :func:`repro.datasets.generate_random_dataset` — the paper's synthetic
+  workloads (uniform random genotypes, half cases / half controls).
+- :func:`repro.datasets.generate_epistatic_dataset` — datasets with a planted
+  fourth-order interaction, for detection-power experiments.
+- :func:`repro.datasets.encode_dataset` — BOOST-style binarization into two
+  bit-planes per SNP per phenotype class (paper §3.1).
+"""
+
+from repro.datasets.dataset import Dataset
+from repro.datasets.encoding import EncodedDataset, encode_dataset
+from repro.datasets.io import load_dataset, load_dataset_csv, save_dataset, save_dataset_csv
+from repro.datasets.padding import pad_snps
+from repro.datasets.penetrance import PenetranceModel, generate_from_penetrance
+from repro.datasets.plink import load_plink, save_plink
+from repro.datasets.synthetic import (
+    generate_epistatic_dataset,
+    generate_random_dataset,
+)
+
+__all__ = [
+    "Dataset",
+    "EncodedDataset",
+    "PenetranceModel",
+    "encode_dataset",
+    "generate_epistatic_dataset",
+    "generate_from_penetrance",
+    "generate_random_dataset",
+    "load_dataset",
+    "load_dataset_csv",
+    "load_plink",
+    "pad_snps",
+    "save_dataset",
+    "save_dataset_csv",
+    "save_plink",
+]

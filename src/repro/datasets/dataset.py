@@ -1,0 +1,126 @@
+"""The case-control dataset model.
+
+A dataset is an ``(M, N)`` genotype matrix over ``{0, 1, 2}`` (copies of the
+minor allele: ``0 = AA`` homozygous major, ``1 = Aa`` heterozygous,
+``2 = aa`` homozygous minor) plus an ``(N,)`` binary phenotype vector
+(``0 = control``, ``1 = case``).  This is the same abstraction the paper
+inherits from BOOST [24].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Number of genotype states per SNP (AA / Aa / aa).
+N_GENOTYPES = 3
+
+#: Genotype codes, for readability at call sites.
+GENOTYPE_AA = 0
+GENOTYPE_Aa = 1
+GENOTYPE_aa = 2
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """An immutable case-control SNP dataset.
+
+    Attributes:
+        genotypes: ``(M, N)`` ``int8`` array with values in ``{0, 1, 2}``.
+            Rows are SNPs, columns are samples.
+        phenotypes: ``(N,)`` ``bool`` array; ``True`` marks a case.
+        snp_names: optional per-SNP labels (defaults to ``snp0..snpM-1``).
+    """
+
+    genotypes: np.ndarray
+    phenotypes: np.ndarray
+    snp_names: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        g = np.asarray(self.genotypes)
+        p = np.asarray(self.phenotypes)
+        if g.ndim != 2:
+            raise ValueError(f"genotypes must be 2-D (M, N), got shape {g.shape}")
+        if p.ndim != 1 or p.shape[0] != g.shape[1]:
+            raise ValueError(
+                "phenotypes must be 1-D with one entry per sample; "
+                f"got shape {p.shape} for {g.shape[1]} samples"
+            )
+        if g.dtype != np.int8:
+            g = g.astype(np.int8)
+        if g.size and (g.min() < 0 or g.max() > 2):
+            raise ValueError("genotype values must be in {0, 1, 2}")
+        if p.dtype != np.bool_:
+            p = p.astype(np.bool_)
+        g = np.ascontiguousarray(g)
+        g.setflags(write=False)
+        p.setflags(write=False)
+        object.__setattr__(self, "genotypes", g)
+        object.__setattr__(self, "phenotypes", p)
+        names = self.snp_names or tuple(f"snp{i}" for i in range(g.shape[0]))
+        if len(names) != g.shape[0]:
+            raise ValueError(
+                f"snp_names has {len(names)} entries for {g.shape[0]} SNPs"
+            )
+        object.__setattr__(self, "snp_names", tuple(names))
+
+    # ------------------------------------------------------------------ #
+    # Dimensions
+
+    @property
+    def n_snps(self) -> int:
+        """Number of SNPs ``M``."""
+        return int(self.genotypes.shape[0])
+
+    @property
+    def n_samples(self) -> int:
+        """Total number of samples ``N``."""
+        return int(self.genotypes.shape[1])
+
+    @property
+    def n_cases(self) -> int:
+        """Number of case samples ``N1``."""
+        return int(np.count_nonzero(self.phenotypes))
+
+    @property
+    def n_controls(self) -> int:
+        """Number of control samples ``N0``."""
+        return self.n_samples - self.n_cases
+
+    # ------------------------------------------------------------------ #
+    # Views
+
+    def class_genotypes(self, phenotype_class: int) -> np.ndarray:
+        """Genotype columns restricted to one phenotype class.
+
+        Args:
+            phenotype_class: ``0`` for controls, ``1`` for cases.
+
+        Returns:
+            ``(M, N_class)`` ``int8`` array (a copy — column selection is a
+            fancy index).
+        """
+        if phenotype_class not in (0, 1):
+            raise ValueError(f"phenotype_class must be 0 or 1, got {phenotype_class}")
+        mask = self.phenotypes if phenotype_class == 1 else ~self.phenotypes
+        return self.genotypes[:, mask]
+
+    def n_class_samples(self, phenotype_class: int) -> int:
+        """``N0`` (class 0) or ``N1`` (class 1)."""
+        return self.n_cases if phenotype_class == 1 else self.n_controls
+
+    def subset_snps(self, indices: np.ndarray | list[int]) -> "Dataset":
+        """A new dataset keeping only the given SNP rows (in the given order)."""
+        idx = np.asarray(indices, dtype=np.intp)
+        return Dataset(
+            genotypes=self.genotypes[idx].copy(),
+            phenotypes=self.phenotypes.copy(),
+            snp_names=tuple(self.snp_names[i] for i in idx),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Dataset(M={self.n_snps}, N={self.n_samples}, "
+            f"controls={self.n_controls}, cases={self.n_cases})"
+        )

@@ -1,0 +1,141 @@
+"""BOOST-style binarized dataset encoding (paper §3.1).
+
+Each SNP is represented by **two** bitvectors per phenotype class — one for
+the homozygous-major genotype (``AA``) and one for the heterozygous genotype
+(``Aa``).  The homozygous-minor configuration (``aa``) is *not* stored; its
+counts are derived analytically (§3.3).  Row ``2*m + g`` of the per-class
+matrix is the bit-plane of genotype ``g`` of SNP ``m``; bit ``i`` is set iff
+sample ``i`` (within the class) has that genotype.
+
+The dataset therefore occupies ``2*M*N0 + 2*M*N1`` bits, exactly the format
+whose footprint the paper sizes at ~3.8 GB for 16384 SNPs x 1M samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bitops.bitmatrix import BitMatrix
+from repro.datasets.dataset import Dataset
+
+
+@dataclass(frozen=True)
+class EncodedDataset:
+    """A dataset binarized into per-class packed genotype bit-planes.
+
+    Attributes:
+        controls: ``(2*M, W0)`` packed bit-planes for the control samples.
+        cases: ``(2*M, W1)`` packed bit-planes for the case samples.
+        n_snps: number of SNP rows ``M`` **after padding** (if any).
+        n_real_snps: number of genuine SNPs; padded rows (all-zero
+            bit-planes) have index >= ``n_real_snps`` and must be excluded
+            from reductions.
+    """
+
+    controls: BitMatrix
+    cases: BitMatrix
+    n_snps: int
+    n_real_snps: int
+
+    def __post_init__(self) -> None:
+        for name, m in (("controls", self.controls), ("cases", self.cases)):
+            if m.n_rows != 2 * self.n_snps:
+                raise ValueError(
+                    f"{name} has {m.n_rows} rows; expected 2*M = {2 * self.n_snps}"
+                )
+        if not 0 < self.n_real_snps <= self.n_snps:
+            raise ValueError(
+                f"n_real_snps={self.n_real_snps} out of range (0, {self.n_snps}]"
+            )
+
+    @property
+    def n_controls(self) -> int:
+        """``N0``."""
+        return self.controls.n_bits
+
+    @property
+    def n_cases(self) -> int:
+        """``N1``."""
+        return self.cases.n_bits
+
+    @property
+    def n_samples(self) -> int:
+        """``N = N0 + N1``."""
+        return self.n_controls + self.n_cases
+
+    def class_matrix(self, phenotype_class: int) -> BitMatrix:
+        """The packed matrix of one class (0 = controls, 1 = cases)."""
+        if phenotype_class == 0:
+            return self.controls
+        if phenotype_class == 1:
+            return self.cases
+        raise ValueError(f"phenotype_class must be 0 or 1, got {phenotype_class}")
+
+    def class_sizes(self) -> tuple[int, int]:
+        """``(N0, N1)``."""
+        return self.n_controls, self.n_cases
+
+    @property
+    def nbytes(self) -> int:
+        """Total packed storage in bytes (both classes)."""
+        return self.controls.nbytes + self.cases.nbytes
+
+    def __repr__(self) -> str:
+        return (
+            f"EncodedDataset(M={self.n_snps} (real {self.n_real_snps}), "
+            f"N0={self.n_controls}, N1={self.n_cases})"
+        )
+
+
+def encode_class(genotypes_class: np.ndarray) -> BitMatrix:
+    """Encode one class's ``(M, N_class)`` genotype matrix to bit-planes.
+
+    Returns a ``(2*M, W)`` :class:`BitMatrix`: row ``2*m`` is the ``AA``
+    plane of SNP ``m`` and row ``2*m + 1`` the ``Aa`` plane.
+    """
+    m, _ = genotypes_class.shape
+    planes = np.empty((2 * m, genotypes_class.shape[1]), dtype=np.bool_)
+    planes[0::2] = genotypes_class == 0
+    planes[1::2] = genotypes_class == 1
+    return BitMatrix.from_bool(planes)
+
+
+def encode_dataset(dataset: Dataset, *, block_size: int | None = None) -> EncodedDataset:
+    """Binarize a dataset into the §3.1 memory format.
+
+    Args:
+        dataset: the case-control dataset.
+        block_size: if given, pad the SNP dimension with all-zero SNP rows up
+            to the next multiple of ``block_size`` ("If the number of SNPs is
+            not a multiple of B, then the dataset is padded").
+
+    Returns:
+        An :class:`EncodedDataset`.  Padded SNPs have all-zero bit-planes for
+        both genotype configurations in both classes.
+    """
+    m_real = dataset.n_snps
+    if m_real == 0:
+        raise ValueError("cannot encode a dataset with zero SNPs")
+    m_padded = m_real
+    if block_size is not None:
+        if block_size <= 0:
+            raise ValueError(f"block_size must be > 0, got {block_size}")
+        m_padded = ((m_real + block_size - 1) // block_size) * block_size
+
+    matrices = []
+    for cls in (0, 1):
+        g = dataset.class_genotypes(cls)
+        encoded = encode_class(g)
+        if m_padded != m_real:
+            padded = np.zeros((2 * m_padded, encoded.n_words), dtype=np.uint64)
+            padded[: 2 * m_real] = encoded.data
+            encoded = BitMatrix(data=padded, n_bits=encoded.n_bits)
+        matrices.append(encoded)
+    return EncodedDataset(
+        controls=matrices[0],
+        cases=matrices[1],
+        n_snps=m_padded,
+        n_real_snps=m_real,
+    )

@@ -1,0 +1,41 @@
+"""SNP-dimension padding helpers.
+
+The block-combination scheme (§3.2) requires the SNP count to be a multiple
+of the block size ``B``; datasets that are not are padded with constant
+(all-``aa``) SNPs.  Padded SNPs never carry set bits in the stored bit-planes
+and are excluded from score reduction by index filtering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.dataset import Dataset
+
+
+def padded_snp_count(n_snps: int, block_size: int) -> int:
+    """Smallest multiple of ``block_size`` >= ``n_snps``."""
+    if block_size <= 0:
+        raise ValueError(f"block_size must be > 0, got {block_size}")
+    if n_snps <= 0:
+        raise ValueError(f"n_snps must be > 0, got {n_snps}")
+    return ((n_snps + block_size - 1) // block_size) * block_size
+
+
+def pad_snps(dataset: Dataset, block_size: int) -> Dataset:
+    """Return a dataset padded with constant ``aa`` SNPs to a block multiple.
+
+    If ``dataset.n_snps`` is already a multiple of ``block_size`` the dataset
+    is returned unchanged.
+    """
+    target = padded_snp_count(dataset.n_snps, block_size)
+    if target == dataset.n_snps:
+        return dataset
+    pad = np.full((target - dataset.n_snps, dataset.n_samples), 2, dtype=np.int8)
+    genotypes = np.vstack([dataset.genotypes, pad])
+    names = dataset.snp_names + tuple(
+        f"__pad{i}" for i in range(target - dataset.n_snps)
+    )
+    return Dataset(
+        genotypes=genotypes, phenotypes=dataset.phenotypes.copy(), snp_names=names
+    )

@@ -1,0 +1,140 @@
+"""Dataset quality control: the standard GWAS preprocessing gates.
+
+Real datasets go through QC before any epistasis scan: minor-allele-
+frequency filtering (rare variants produce unstable contingency cells),
+removal of monomorphic SNPs (zero information) and Hardy-Weinberg
+equilibrium checks on controls (gross HWE violations usually indicate
+genotyping error).  This module implements those gates over the
+:class:`~repro.datasets.Dataset` model, returning both filtered datasets
+and per-SNP diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.stats import chi2 as chi2_dist
+
+from repro.datasets.dataset import Dataset
+
+
+def minor_allele_frequencies(dataset: Dataset) -> np.ndarray:
+    """Per-SNP minor allele frequency, ``(M,)`` floats in ``[0, 0.5]``.
+
+    Genotype codes count copies of the designated minor allele; if a SNP's
+    coded allele actually exceeds 0.5 in this sample, the folded frequency
+    is reported (frequency of the rarer allele).
+    """
+    g = np.asarray(dataset.genotypes, dtype=np.float64)
+    freq = g.mean(axis=1) / 2.0
+    return np.minimum(freq, 1.0 - freq)
+
+
+def hardy_weinberg_pvalues(
+    dataset: Dataset, *, controls_only: bool = True
+) -> np.ndarray:
+    """Per-SNP chi-squared HWE test p-values, ``(M,)``.
+
+    Compares observed genotype counts against Hardy-Weinberg expectations
+    at the sample allele frequency (1 degree of freedom).  Monomorphic SNPs
+    get p = 1 (no test possible, no evidence of violation).
+
+    Args:
+        dataset: the dataset.
+        controls_only: test on controls only (the standard practice —
+            cases may deviate from HWE *because* of true association).
+    """
+    g = dataset.class_genotypes(0) if controls_only else np.asarray(dataset.genotypes)
+    n = g.shape[1]
+    if n == 0:
+        raise ValueError("no samples to test")
+    counts = np.stack(
+        [(g == code).sum(axis=1) for code in (0, 1, 2)], axis=1
+    ).astype(np.float64)
+    p_allele = (counts[:, 1] + 2 * counts[:, 2]) / (2 * n)
+    q_allele = 1.0 - p_allele
+    expected = np.stack(
+        [n * q_allele**2, 2 * n * p_allele * q_allele, n * p_allele**2],
+        axis=1,
+    )
+    with np.errstate(divide="ignore", invalid="ignore"):
+        chi2 = np.where(
+            expected > 0, (counts - expected) ** 2 / expected, 0.0
+        ).sum(axis=1)
+    pvals = chi2_dist.sf(chi2, df=1)
+    monomorphic = (p_allele == 0) | (q_allele == 0)
+    pvals[monomorphic] = 1.0
+    return pvals
+
+
+@dataclass(frozen=True)
+class QCReport:
+    """Outcome of :func:`apply_qc`.
+
+    Attributes:
+        kept: indices of SNPs that passed every gate (original numbering).
+        dropped_maf: indices failing the MAF gate.
+        dropped_monomorphic: indices with a single observed genotype.
+        dropped_hwe: indices failing the HWE gate.
+        maf: per-SNP folded MAF (all SNPs, original numbering).
+        hwe_pvalues: per-SNP HWE p-values (all SNPs).
+    """
+
+    kept: np.ndarray
+    dropped_maf: np.ndarray
+    dropped_monomorphic: np.ndarray
+    dropped_hwe: np.ndarray
+    maf: np.ndarray
+    hwe_pvalues: np.ndarray
+
+    def summary(self) -> str:
+        return (
+            f"QC: kept {self.kept.size} SNPs; dropped "
+            f"{self.dropped_monomorphic.size} monomorphic, "
+            f"{self.dropped_maf.size} low-MAF, "
+            f"{self.dropped_hwe.size} HWE-violating"
+        )
+
+
+def apply_qc(
+    dataset: Dataset,
+    *,
+    min_maf: float = 0.05,
+    hwe_alpha: float = 1e-6,
+) -> tuple[Dataset, QCReport]:
+    """Run the standard QC gates and return the filtered dataset + report.
+
+    Args:
+        dataset: input dataset.
+        min_maf: drop SNPs whose folded MAF is below this.
+        hwe_alpha: drop SNPs whose control-HWE p-value is below this (the
+            conventional threshold is very small — only gross violations).
+
+    Returns:
+        ``(filtered_dataset, report)``.  Raises if nothing survives.
+    """
+    if not 0.0 <= min_maf < 0.5:
+        raise ValueError(f"min_maf must be in [0, 0.5), got {min_maf}")
+    if not 0.0 < hwe_alpha < 1.0:
+        raise ValueError(f"hwe_alpha must be in (0, 1), got {hwe_alpha}")
+    maf = minor_allele_frequencies(dataset)
+    hwe = hardy_weinberg_pvalues(dataset)
+
+    # Allele-level monomorphism: only one allele observed (an all-
+    # heterozygous SNP is *not* monomorphic — it is an HWE violation).
+    monomorphic = maf == 0.0
+    low_maf = ~monomorphic & (maf < min_maf)
+    bad_hwe = ~monomorphic & ~low_maf & (hwe < hwe_alpha)
+    keep = ~(monomorphic | low_maf | bad_hwe)
+    if not keep.any():
+        raise ValueError("QC dropped every SNP; relax the thresholds")
+    report = QCReport(
+        kept=np.flatnonzero(keep),
+        dropped_maf=np.flatnonzero(low_maf),
+        dropped_monomorphic=np.flatnonzero(monomorphic),
+        dropped_hwe=np.flatnonzero(bad_hwe),
+        maf=maf,
+        hwe_pvalues=hwe,
+    )
+    return dataset.subset_snps(report.kept), report

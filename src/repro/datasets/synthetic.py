@@ -1,0 +1,148 @@
+"""Synthetic dataset generators.
+
+Two generators are provided:
+
+- :func:`generate_random_dataset` mirrors the paper's evaluation workloads
+  (§4.3): uniformly random genotypes, half cases and half controls.  The
+  paper notes that "the type and the volume of operations performed does not
+  depend on the particular genotypic data", so random content is sufficient
+  for performance studies.
+- :func:`generate_epistatic_dataset` plants a ground-truth fourth-order
+  interaction via a penetrance model, for accuracy/power experiments (the
+  use case motivating the paper's introduction).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.dataset import Dataset
+
+
+def generate_random_dataset(
+    n_snps: int,
+    n_samples: int,
+    *,
+    case_fraction: float = 0.5,
+    maf_range: tuple[float, float] = (0.05, 0.5),
+    seed: int | None = None,
+) -> Dataset:
+    """Generate a random case-control dataset.
+
+    Genotypes are drawn per SNP under Hardy-Weinberg equilibrium with a minor
+    allele frequency (MAF) sampled uniformly from ``maf_range``; phenotypes
+    carry no signal.  With the default ``case_fraction=0.5`` this matches the
+    paper's synthetic datasets ("All these datasets have half samples of each
+    kind").
+
+    Args:
+        n_snps: number of SNPs ``M``.
+        n_samples: number of samples ``N``.
+        case_fraction: fraction of samples labelled as cases.
+        maf_range: ``(low, high)`` bounds for per-SNP minor allele frequency.
+        seed: RNG seed for reproducibility.
+
+    Returns:
+        A :class:`~repro.datasets.Dataset`.
+    """
+    if not 0.0 < case_fraction < 1.0:
+        raise ValueError(f"case_fraction must be in (0, 1), got {case_fraction}")
+    lo, hi = maf_range
+    if not 0.0 < lo <= hi <= 0.5:
+        raise ValueError(f"maf_range must satisfy 0 < low <= high <= 0.5, got {maf_range}")
+    rng = np.random.default_rng(seed)
+    maf = rng.uniform(lo, hi, size=(n_snps, 1))
+    # Hardy-Weinberg genotype probabilities: P(aa)=maf^2, P(Aa)=2*maf*(1-maf).
+    p_aa = maf**2
+    p_het = 2.0 * maf * (1.0 - maf)
+    u = rng.random((n_snps, n_samples))
+    genotypes = np.zeros((n_snps, n_samples), dtype=np.int8)
+    genotypes[u < p_het] = 1
+    genotypes[u >= 1.0 - p_aa] = 2
+
+    n_cases = int(round(n_samples * case_fraction))
+    phenotypes = np.zeros(n_samples, dtype=np.bool_)
+    phenotypes[:n_cases] = True
+    rng.shuffle(phenotypes)
+    return Dataset(genotypes=genotypes, phenotypes=phenotypes)
+
+
+def generate_epistatic_dataset(
+    n_snps: int,
+    n_samples: int,
+    *,
+    interacting_snps: tuple[int, int, int, int] = (0, 1, 2, 3),
+    effect_size: float = 2.0,
+    baseline_risk: float = 0.3,
+    maf_range: tuple[float, float] = (0.2, 0.4),
+    model: str = "threshold",
+    seed: int | None = None,
+) -> tuple[Dataset, tuple[int, int, int, int]]:
+    """Generate a dataset containing one planted fourth-order interaction.
+
+    Two penetrance models are available:
+
+    - ``"threshold"``: elevated disease probability for samples carrying at
+      least one minor allele at *every* interacting locus.  Easy to detect,
+      but leaks marginal (single-SNP) signal.
+    - ``"parity"``: elevated risk when the number of minor-allele-carrying
+      causal loci is even — a (near) *pure* fourth-order interaction whose
+      marginal effects vanish to first order, the textbook case where only
+      high-order search works.
+
+    All other SNPs are pure noise.  The case/control balance is whatever the
+    penetrance model produces, so the dataset exercises the unequal
+    ``N0 != N1`` code paths.
+
+    Args:
+        n_snps: number of SNPs ``M`` (must be >= 4).
+        n_samples: number of samples ``N``.
+        interacting_snps: indices of the four causal SNPs (must be distinct).
+        effect_size: multiplicative risk for risk-aligned genotypes (>1 makes
+            the interaction detectable; larger is easier).
+        baseline_risk: disease probability for non-risk genotypes.
+        maf_range: MAF bounds (kept away from the extremes so the interacting
+            genotypes actually occur).
+        model: ``"threshold"`` or ``"parity"`` (see above).
+        seed: RNG seed.
+
+    Returns:
+        ``(dataset, interacting_snps)``.
+    """
+    if n_snps < 4:
+        raise ValueError(f"need at least 4 SNPs, got {n_snps}")
+    quad = tuple(sorted(interacting_snps))
+    if len(set(quad)) != 4 or quad[-1] >= n_snps or quad[0] < 0:
+        raise ValueError(f"interacting_snps must be 4 distinct indices < {n_snps}")
+    if effect_size <= 0:
+        raise ValueError(f"effect_size must be > 0, got {effect_size}")
+    if not 0.0 < baseline_risk < 1.0:
+        raise ValueError(f"baseline_risk must be in (0, 1), got {baseline_risk}")
+    if model not in ("threshold", "parity"):
+        raise ValueError(f"model must be 'threshold' or 'parity', got {model!r}")
+
+    rng = np.random.default_rng(seed)
+    base = generate_random_dataset(
+        n_snps, n_samples, maf_range=maf_range, seed=rng.integers(2**31)
+    )
+    g = np.asarray(base.genotypes)
+    if model == "threshold":
+        # Risk-aligned: >=1 minor allele at each of the four causal loci.
+        risk = np.ones(n_samples, dtype=bool)
+        for snp in quad:
+            risk &= g[snp] >= 1
+    else:
+        # Risk-aligned: an even number of the causal loci carry a minor
+        # allele — no first-order marginal effect.
+        carriers = np.zeros(n_samples, dtype=np.int64)
+        for snp in quad:
+            carriers += g[snp] >= 1
+        risk = carriers % 2 == 0
+    prob = np.where(risk, np.minimum(baseline_risk * effect_size, 0.95), baseline_risk)
+    phenotypes = rng.random(n_samples) < prob
+    # Guarantee both classes are non-empty so encoding never degenerates.
+    if phenotypes.all():
+        phenotypes[rng.integers(n_samples)] = False
+    if not phenotypes.any():
+        phenotypes[rng.integers(n_samples)] = True
+    return Dataset(genotypes=g.copy(), phenotypes=phenotypes), quad

@@ -1,0 +1,127 @@
+"""Device-memory budgeting for a search (§3.3's design constraint, live).
+
+The paper's central memory argument: the single-phase third-order strategy
+needs ``O(C(M,3))`` storage, while Epi4Tensor's three-phase construction
+keeps the working set to the active sweeps.  This module itemizes the
+device-resident footprint of a configured search — dataset planes, lgamma
+table, low-order tables, the three live 3-way sweep corners, the combined
+operands and the 4-way corner/score buffers — so a search can be checked
+against a GPU's memory *before* it runs, and refuses configurations that
+cannot fit (the same failure the paper reports for [15] at large ``M``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.device.specs import GPUSpec
+
+
+class DeviceMemoryError(MemoryError):
+    """A search configuration does not fit the target device's memory."""
+
+
+@dataclass(frozen=True)
+class DeviceMemoryEstimate:
+    """Itemized per-device memory footprint of one search.
+
+    Attributes:
+        components: bytes by component name.
+        total_bytes: sum over components.
+    """
+
+    components: dict[str, int]
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.components.values())
+
+    @property
+    def total_gb(self) -> float:
+        return self.total_bytes / 1e9
+
+    def format(self) -> str:
+        """Human-readable breakdown, largest first."""
+        lines = [
+            f"  {name:<22s} {size / 1e6:10.1f} MB"
+            for name, size in sorted(
+                self.components.items(), key=lambda kv: -kv[1]
+            )
+        ]
+        lines.append(f"  {'total':<22s} {self.total_bytes / 1e6:10.1f} MB")
+        return "\n".join(lines)
+
+
+def estimate_search_memory(
+    n_snps: int,
+    n_controls: int,
+    n_cases: int,
+    block_size: int,
+    *,
+    max_chunk_cells: int = 32 * 1024 * 1024,
+) -> DeviceMemoryEstimate:
+    """Per-device footprint of a fourth-order search (§3.6: every GPU holds
+    the full dataset, lgamma table and low-order tables).
+
+    Args:
+        n_snps: padded SNP count ``M``.
+        n_controls / n_cases: class sizes.
+        block_size: ``B``.
+        max_chunk_cells: the ``applyScore`` chunking bound (cells/class).
+
+    Returns:
+        A :class:`DeviceMemoryEstimate`.
+    """
+    if min(n_snps, n_controls, n_cases, block_size) <= 0:
+        raise ValueError("all dimensions must be positive")
+    m, b = n_snps, block_size
+    words0 = (n_controls + 63) // 64
+    words1 = (n_cases + 63) // 64
+    n = n_controls + n_cases
+
+    components = {
+        # 2 bit-plane rows per SNP per class, packed.
+        "dataset planes": 8 * 2 * m * (words0 + words1),
+        # lgamma LUT over 0..N+2 doubles (§3.5).
+        "lgamma table": 8 * (n + 3),
+        # indivPop (int64) + pairwPop (int32), both classes.
+        "low-order tables": 8 * 2 * m * 3 + 4 * 2 * m * m * 9,
+        # Three live 3-way sweeps of (B, B, <=M) 8-cell int32 corners x2
+        # classes (wx at the X level, wy + xy at the Y level).
+        "3-way sweep corners": 3 * 2 * (b * b * m * 8) * 4,
+        # Combined operands alive at once: wx, wy, xy, yz per class.
+        "combined operands": 8 * 4 * 2 * (4 * b * b) * max(words0, words1),
+        # 4-way corners for one round: (B^4, 16) per class, int64.
+        "4-way corners": 8 * 2 * b**4 * 16,
+        # applyScore working tables: chunked 81-cell tables, both classes.
+        "score tables": 8 * 2 * min(b**4 * 81, max_chunk_cells),
+        # Round score grid (float64) + reduction buffers.
+        "score grid": 8 * b**4,
+    }
+    return DeviceMemoryEstimate(components=components)
+
+
+def check_fits(
+    spec: GPUSpec,
+    estimate: DeviceMemoryEstimate,
+    *,
+    reserve_fraction: float = 0.05,
+) -> None:
+    """Raise :class:`DeviceMemoryError` if the search exceeds device memory.
+
+    Args:
+        spec: target GPU.
+        estimate: output of :func:`estimate_search_memory`.
+        reserve_fraction: memory held back for the runtime/driver.
+    """
+    if not 0 <= reserve_fraction < 1:
+        raise ValueError(
+            f"reserve_fraction must be in [0, 1), got {reserve_fraction}"
+        )
+    budget = spec.memory_gb * 1e9 * (1.0 - reserve_fraction)
+    if estimate.total_bytes > budget:
+        raise DeviceMemoryError(
+            f"search needs {estimate.total_gb:.2f} GB but {spec.name} offers "
+            f"{budget / 1e9:.2f} GB (of {spec.memory_gb} GB):\n"
+            f"{estimate.format()}"
+        )

@@ -1,0 +1,225 @@
+"""GPU and system catalog (paper Table 1 + §4.1 throughput derivations).
+
+Peak binary-tensor throughput is derived exactly as in the paper: each fused
+XOR+POPC / AND+POPC counts as two operations, so
+
+    peak TOPS = tensor_cores * fused_ops_per_core_cycle * 2 * boost_clock.
+
+Titan RTX (Turing):  576 * 1024 * 2 * 1.770 GHz = 2088 TOPS.
+A100 (Ampere):       432 * 4096 * 2 * 1.410 GHz = 4992 TOPS.
+
+Calibration fields (``kernel_sol``, ``sustained_clock_factor``,
+``saturation_half_samples``, ``large_n_cliff``) encode the paper's measured
+efficiency observations (§4.5-§4.6) and are consumed by
+:mod:`repro.perfmodel.efficiency`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.tensor.tiles import AMPERE_TILES, TURING_TILES, TileConfig
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static description of one GPU model.
+
+    Attributes:
+        name: marketing name.
+        arch: microarchitecture ("turing" or "ampere").
+        tensor_cores: number of tensor cores.
+        fused_ops_per_core_cycle: fused 1-bit ops per tensor core per cycle.
+        base_clock_hz / boost_clock_hz: advertised clocks.
+        supports_and_popc: whether fused AND+POPC is native (Ampere) — if
+            not, the XOR+POPC engine plus translation layer is used (§3.4).
+        cuda_cores: general-purpose core count (combine/score kernels).
+        memory_gb / mem_bandwidth_gbps / tdp_w: board characteristics.
+        tiles: CUTLASS tile configuration tuned for the arch (§4.4).
+        kernel_sol: measured speed-of-light fraction of the 4-way tensor
+            kernel at saturation (~0.90 Ampere, ~0.65 Turing, §4.5).
+        sustained_clock_factor: achieved/boost clock under the power cap
+            (§4.5: "software power cap was consistently reported ... active";
+            the SXM4 part sustains higher clocks thanks to its 400 W TDP).
+        saturation_half_samples: samples at which tensor efficiency reaches
+            half its asymptote (kernel ramp-up vs the GEMM K dimension).
+        ramp_half_samples: the portion of the saturation curve attributable
+            to per-launch ramp-up/idle, which concurrent streams can hide
+            (must be <= ``saturation_half_samples``); the remainder is a
+            throughput effect streams cannot recover.  ``None`` means the
+            whole curve is ramp (Turing behaves this way in our fit).
+        large_n_cliff: multiplicative throughput penalty observed on Turing
+            when processing >= ``large_n_cliff_samples`` samples in a single
+            matrix operation (§4.5).
+        large_n_cliff_samples: threshold for the cliff.
+    """
+
+    name: str
+    arch: str
+    tensor_cores: int
+    fused_ops_per_core_cycle: int
+    base_clock_hz: float
+    boost_clock_hz: float
+    supports_and_popc: bool
+    cuda_cores: int
+    memory_gb: float
+    mem_bandwidth_gbps: float
+    tdp_w: float
+    tiles: TileConfig
+    kernel_sol: float
+    sustained_clock_factor: float
+    saturation_half_samples: float
+    large_n_cliff: float = 1.0
+    large_n_cliff_samples: int | None = None
+    ramp_half_samples: float | None = None
+
+    @property
+    def effective_ramp_half_samples(self) -> float:
+        """Ramp component of the saturation curve (defaults to all of it)."""
+        if self.ramp_half_samples is None:
+            return self.saturation_half_samples
+        return min(self.ramp_half_samples, self.saturation_half_samples)
+
+    def __post_init__(self) -> None:
+        if self.arch not in ("turing", "ampere"):
+            raise ValueError(f"unknown arch {self.arch!r}")
+        for fname in ("tensor_cores", "fused_ops_per_core_cycle", "cuda_cores"):
+            if getattr(self, fname) <= 0:
+                raise ValueError(f"{fname} must be > 0")
+        if not 0 < self.kernel_sol <= 1:
+            raise ValueError(f"kernel_sol must be in (0, 1], got {self.kernel_sol}")
+
+    @property
+    def peak_tops(self) -> float:
+        """Peak binary tensor throughput at boost clock, in TOPS."""
+        return (
+            self.tensor_cores
+            * self.fused_ops_per_core_cycle
+            * 2
+            * self.boost_clock_hz
+            / 1e12
+        )
+
+    @property
+    def native_engine_kind(self) -> str:
+        """Engine the arch runs natively: ``and_popc`` or ``xor_popc``."""
+        return "and_popc" if self.supports_and_popc else "xor_popc"
+
+
+TITAN_RTX = GPUSpec(
+    name="Titan RTX",
+    arch="turing",
+    tensor_cores=576,
+    fused_ops_per_core_cycle=1024,
+    base_clock_hz=1.350e9,
+    boost_clock_hz=1.770e9,
+    supports_and_popc=False,
+    cuda_cores=4608,
+    memory_gb=24,
+    mem_bandwidth_gbps=672,
+    tdp_w=280,
+    tiles=TURING_TILES,
+    kernel_sol=0.65,
+    sustained_clock_factor=0.95,
+    saturation_half_samples=15000,
+    large_n_cliff=0.62,
+    large_n_cliff_samples=524288,
+)
+
+A100_PCIE = GPUSpec(
+    name="A100 PCIe",
+    arch="ampere",
+    tensor_cores=432,
+    fused_ops_per_core_cycle=4096,
+    base_clock_hz=0.765e9,
+    boost_clock_hz=1.410e9,
+    supports_and_popc=True,
+    cuda_cores=6912,
+    memory_gb=40,
+    mem_bandwidth_gbps=1555,
+    tdp_w=250,
+    tiles=AMPERE_TILES,
+    kernel_sol=0.90,
+    sustained_clock_factor=0.94,
+    saturation_half_samples=95000,
+    ramp_half_samples=15000,
+)
+
+A100_SXM4 = GPUSpec(
+    name="A100 SXM4",
+    arch="ampere",
+    tensor_cores=432,
+    fused_ops_per_core_cycle=4096,
+    base_clock_hz=1.275e9,
+    boost_clock_hz=1.410e9,
+    supports_and_popc=True,
+    cuda_cores=6912,
+    memory_gb=80,
+    mem_bandwidth_gbps=2039,
+    tdp_w=400,
+    tiles=AMPERE_TILES,
+    kernel_sol=0.90,
+    # §4.6: 1.23x over the PCIe part at equal boost clocks, from the higher
+    # TDP (sustained clocks) and memory bandwidth; folded into this factor.
+    sustained_clock_factor=0.94 * 1.23,
+    saturation_half_samples=95000,
+    ramp_half_samples=15000,
+)
+
+_CATALOG = {spec.name: spec for spec in (TITAN_RTX, A100_PCIE, A100_SXM4)}
+
+
+def gpu_by_name(name: str) -> GPUSpec:
+    """Look up a GPU spec by its marketing name."""
+    if name not in _CATALOG:
+        raise KeyError(f"unknown GPU {name!r}; available: {sorted(_CATALOG)}")
+    return _CATALOG[name]
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """One of the paper's three target systems (Table 1)."""
+
+    name: str
+    cpu: str
+    gpu: GPUSpec
+    n_gpus: int
+    dram_gb: int
+    operating_system: str
+    driver: str = ""
+
+    @property
+    def peak_tops(self) -> float:
+        """Aggregate peak binary tensor TOPS."""
+        return self.n_gpus * self.gpu.peak_tops
+
+
+SYSTEMS: dict[str, SystemSpec] = {
+    "S1": SystemSpec(
+        name="S1",
+        cpu="Intel Core i9-10980XE (Cascade Lake)",
+        gpu=TITAN_RTX,
+        n_gpus=1,
+        dram_gb=128,
+        operating_system="CentOS 7.8",
+        driver="470.42.01",
+    ),
+    "S2": SystemSpec(
+        name="S2",
+        cpu="AMD EPYC 7452 (Zen 2)",
+        gpu=A100_PCIE,
+        n_gpus=1,
+        dram_gb=512,
+        operating_system="Ubuntu 20.04",
+        driver="460.73.01",
+    ),
+    "S3": SystemSpec(
+        name="S3",
+        cpu="2x AMD EPYC 7763 (Zen 3)",
+        gpu=A100_SXM4,
+        n_gpus=8,
+        dram_gb=2048,
+        operating_system="Ubuntu 18.04",
+        driver="495.29.05",
+    ),
+}

@@ -1,0 +1,66 @@
+"""Energy model: quad-samples per joule on the modelled devices.
+
+The paper compares against HEDAcc [21], an FPGA approach "with a strong
+emphasis on energy-efficiency", but reports throughput only.  Table 1
+discloses each GPU's TDP and §4.5 observes the power cap is *always active*
+during searches — i.e. the boards run essentially at their power limit.
+That pins an energy model: ``energy = TDP x runtime`` (an upper bound that
+is nearly tight under an active cap), from which we derive scaled quads per
+joule for any configuration.
+
+These are model estimates; no paper anchor exists to validate them, so the
+test suite checks internal consistency only (monotonicity, cap behaviour).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perfmodel.model import PerformancePrediction
+
+#: Fraction of TDP drawn while the software power cap is active (§4.5 —
+#: the cap throttles clocks *because* the board sits at the limit).
+POWER_CAP_DRAW_FRACTION = 1.0
+
+
+@dataclass(frozen=True)
+class EnergyEstimate:
+    """Energy accounting for one projected search.
+
+    Attributes:
+        watts: modelled average board power (all GPUs).
+        joules: total energy of the run.
+        giga_quad_samples_per_joule: the efficiency metric — unique quads x
+            samples per joule, in 1e9 units.
+    """
+
+    watts: float
+    joules: float
+    giga_quad_samples_per_joule: float
+
+
+def estimate_energy(
+    prediction: PerformancePrediction,
+    *,
+    draw_fraction: float = POWER_CAP_DRAW_FRACTION,
+) -> EnergyEstimate:
+    """Energy estimate for a projected (single- or multi-GPU) search.
+
+    Args:
+        prediction: output of ``predict_search`` / ``predict_multi_gpu``.
+        draw_fraction: average draw as a fraction of TDP (1.0 under an
+            active power cap).
+
+    Returns:
+        An :class:`EnergyEstimate`.
+    """
+    if not 0 < draw_fraction <= 1.0:
+        raise ValueError(f"draw_fraction must be in (0, 1], got {draw_fraction}")
+    watts = prediction.n_gpus * prediction.spec.tdp_w * draw_fraction
+    joules = watts * prediction.seconds
+    quads = prediction.workload.scaled_quads
+    return EnergyEstimate(
+        watts=watts,
+        joules=joules,
+        giga_quad_samples_per_joule=quads / joules / 1e9,
+    )

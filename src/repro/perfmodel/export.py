@@ -1,0 +1,60 @@
+"""CSV export of every regenerated evaluation artifact.
+
+Writes the series behind Table 1, Fig. 2, Fig. 3, Table 2 and the §4.5
+ratios as CSV files — the machine-readable companions to
+``EXPERIMENTS.md``, suitable for plotting or regression-tracking the model
+outputs across versions.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from dataclasses import fields
+
+from repro.perfmodel import figures
+
+
+def _write_rows(path: str, rows: list[dict]) -> None:
+    if not rows:
+        raise ValueError(f"refusing to write empty CSV {path}")
+    with open(path, "w", encoding="utf-8", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=list(rows[0].keys()))
+        writer.writeheader()
+        writer.writerows(rows)
+
+
+def _dataclass_rows(items) -> list[dict]:
+    return [
+        {f.name: getattr(item, f.name) for f in fields(item)} for item in items
+    ]
+
+
+def export_all(directory: str | os.PathLike) -> dict[str, str]:
+    """Write every artifact's CSV into ``directory``.
+
+    Returns:
+        Mapping of artifact name to the file path written.
+    """
+    directory = os.fspath(directory)
+    os.makedirs(directory, exist_ok=True)
+    written: dict[str, str] = {}
+
+    def emit(name: str, rows: list[dict]) -> None:
+        path = os.path.join(directory, f"{name}.csv")
+        _write_rows(path, rows)
+        written[name] = path
+
+    emit("table1_systems", figures.table1_rows())
+    emit("fig2_single_gpu", _dataclass_rows(figures.fig2_grid()))
+    emit("fig3_multi_gpu", _dataclass_rows(figures.fig3_grid()))
+    emit("table2_related_work", _dataclass_rows(figures.table2_rows()))
+    emit("unique_ratios", _dataclass_rows(figures.unique_ratio_rows()))
+    emit(
+        "sycl_speedups",
+        [
+            {"comparison": key, "speedup": value}
+            for key, value in figures.epi4tensor_vs_sycl_speedups().items()
+        ],
+    )
+    return written

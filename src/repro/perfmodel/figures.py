@@ -1,0 +1,259 @@
+"""Series generators for every evaluation artifact of the paper.
+
+Each function regenerates the data behind one table or figure:
+
+- :func:`table1_rows` — the target-system catalog with derived peak TOPS.
+- :func:`fig2_grid` — single-GPU performance on S1/S2 over the full
+  ``M x N x engine x B x streams`` grid.
+- :func:`fig3_grid` — S3 multi-GPU performance/scaling.
+- :func:`table2_rows` — the related-work comparison.
+- :func:`unique_ratio_rows` — the §4.5 useful-combination percentages
+  (exact combinatorics, not modelled).
+
+The benchmark harness prints these next to the paper's reported values;
+see ``EXPERIMENTS.md`` for the recorded comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.blocks import useful_ratio
+from repro.device.specs import A100_PCIE, A100_SXM4, GPUSpec, SYSTEMS, TITAN_RTX
+from repro.perfmodel.model import (
+    PerformancePrediction,
+    predict_multi_gpu,
+    predict_search,
+)
+
+#: Fig. 2 dataset grid (§4.3): SNP counts x sample counts.
+FIG2_SNPS = (256, 512, 1024, 2048)
+FIG2_SAMPLES = (32768, 65536, 131072, 262144, 524288)
+
+#: Fig. 3 grid (§4.6).
+FIG3_SNPS = (1024, 2048, 4096)
+FIG3_SAMPLES = (262144, 524288)
+FIG3_GPUS = (1, 2, 4, 8)
+
+
+@dataclass(frozen=True)
+class Fig2Row:
+    """One bar of Fig. 2."""
+
+    system: str
+    gpu: str
+    n_snps: int
+    n_samples: int
+    engine: str  # "xor" or "and"
+    block_size: int
+    n_streams: int
+    tera_quads_per_second: float
+    avg_tops: float
+
+
+def fig2_grid(
+    *,
+    block_sizes: tuple[int, ...] = (32, 64),
+    stream_counts: tuple[int, ...] = (1, 4),
+) -> list[Fig2Row]:
+    """Model the full single-GPU grid of Fig. 2.
+
+    Engines: XOR+POPC on both systems, AND+POPC additionally on S2 (Ampere).
+    The AND/XOR distinction does not change modelled throughput (the paper
+    measures the translation overhead as insignificant — sub-1% on its
+    anchor pairs), so paired rows differ only by a small constant factor
+    representing the translation work, folded into the score phase.
+    """
+    rows: list[Fig2Row] = []
+    #: Measured AND-vs-XOR gap on the paper's anchors: 90.9 vs 90.0 -> ~1%.
+    xor_translation_factor = 0.990
+    for system, spec in (("S1", TITAN_RTX), ("S2", A100_PCIE)):
+        for m in FIG2_SNPS:
+            for n in FIG2_SAMPLES:
+                for b in block_sizes:
+                    for s in stream_counts:
+                        pred = predict_search(spec, m, n, b, n_streams=s)
+                        engines = ["xor"] if spec.arch == "turing" else ["and", "xor"]
+                        for engine in engines:
+                            factor = (
+                                1.0
+                                if engine == "and" or spec.arch == "turing"
+                                else xor_translation_factor
+                            )
+                            rows.append(
+                                Fig2Row(
+                                    system=system,
+                                    gpu=spec.name,
+                                    n_snps=m,
+                                    n_samples=n,
+                                    engine=engine,
+                                    block_size=b,
+                                    n_streams=s,
+                                    tera_quads_per_second=(
+                                        pred.tera_quads_per_second_scaled * factor
+                                    ),
+                                    avg_tops=pred.avg_tops,
+                                )
+                            )
+    return rows
+
+
+@dataclass(frozen=True)
+class Fig3Row:
+    """One bar of Fig. 3."""
+
+    n_gpus: int
+    n_snps: int
+    n_samples: int
+    tera_quads_per_second: float
+    speedup: float
+    avg_tops: float
+    hours: float
+
+
+def fig3_grid() -> list[Fig3Row]:
+    """Model the S3 (8x A100 SXM4) multi-GPU grid of Fig. 3."""
+    rows: list[Fig3Row] = []
+    for m in FIG3_SNPS:
+        for n in FIG3_SAMPLES:
+            for g in FIG3_GPUS:
+                pred = predict_multi_gpu(A100_SXM4, g, m, n, 32)
+                rows.append(
+                    Fig3Row(
+                        n_gpus=g,
+                        n_snps=m,
+                        n_samples=n,
+                        tera_quads_per_second=pred.tera_quads_per_second_scaled,
+                        speedup=pred.speedup_vs_single,
+                        avg_tops=pred.avg_tops,
+                        hours=pred.seconds / 3600.0,
+                    )
+                )
+    return rows
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One row of the related-work comparison (Table 2)."""
+
+    approach: str
+    hardware: str
+    n_snps: int
+    n_samples: int
+    tera_quads_per_second: float
+    source: str  # "paper-reported" or "model"
+
+
+def table2_rows() -> list[Table2Row]:
+    """Table 2: fourth-order approaches, tera quads/s scaled to samples.
+
+    Related-art numbers are the values reported in the cited publications
+    (we cannot rerun FPGA/Xeon testbeds); Epi4Tensor rows come from our
+    calibrated model at the paper's dataset points.
+    """
+    rows = [
+        Table2Row("BitEpi [2]", "2x Intel Xeon E5-2660 v3 (20 cores)", 500, 2000, 0.011, "paper-reported"),
+        Table2Row("HEDAcc [21]", "Virtex-7 690T FPGA", 2000, 4000, 0.42, "paper-reported"),
+        Table2Row("HEDAcc [21]", "Zynq-US+ FPGA", 2000, 4000, 0.35, "paper-reported"),
+        Table2Row("HEDAcc [21]", "Zynq-7000 FPGA", 2000, 4000, 0.28, "paper-reported"),
+        Table2Row("SYCL 4th-order [15]", "Titan RTX", 250, 80000, 2.25, "paper-reported"),
+    ]
+    ours = [
+        ("Epi4Tensor (S1)", TITAN_RTX, 1, 2048, 262144),
+        ("Epi4Tensor (S2)", A100_PCIE, 1, 2048, 524288),
+        ("Epi4Tensor (S3)", A100_SXM4, 8, 4096, 524288),
+    ]
+    for label, spec, g, m, n in ours:
+        pred = (
+            predict_search(spec, m, n, 32)
+            if g == 1
+            else predict_multi_gpu(spec, g, m, n, 32)
+        )
+        hardware = spec.name if g == 1 else f"{g}x {spec.name} (HGX)"
+        rows.append(
+            Table2Row(
+                label, hardware, m, n, pred.tera_quads_per_second_scaled, "model"
+            )
+        )
+    return rows
+
+
+def epi4tensor_vs_sycl_speedups() -> dict[str, float]:
+    """The §5 headline speedups vs the SYCL state of the art [15].
+
+    Returns a mapping with the four factors the paper quotes: 6.4x (same
+    dataset + GPU), 12.4x (Titan best), 41.1x (A100 best), 372.1x (HGX).
+
+    Each point uses the best parametrization, as the paper reports; for the
+    small 250 x 80000 dataset that means concurrent evaluation rounds
+    (streams), which the paper finds to pay off exactly for small-sample
+    datasets.
+    """
+    sycl = 2.25
+    same_dataset = max(
+        predict_search(
+            TITAN_RTX, 256, 80000, 32, n_real_snps=250, n_streams=s
+        ).tera_quads_per_second_scaled
+        for s in (1, 4)
+    )
+    return {
+        "same_dataset_same_gpu": same_dataset / sycl,
+        "titan_best": predict_search(TITAN_RTX, 2048, 262144, 32).tera_quads_per_second_scaled / sycl,
+        "a100_best": predict_search(A100_PCIE, 2048, 524288, 32).tera_quads_per_second_scaled / sycl,
+        "hgx_best": predict_multi_gpu(A100_SXM4, 8, 4096, 524288, 32).tera_quads_per_second_scaled / sycl,
+    }
+
+
+@dataclass(frozen=True)
+class UniqueRatioRow:
+    n_snps: int
+    block_size: int
+    percent_unique: float
+
+
+def unique_ratio_rows() -> list[UniqueRatioRow]:
+    """The §4.5 unique-combination percentages (exact, to compare verbatim)."""
+    rows = []
+    for b in (32, 64):
+        for m in FIG2_SNPS:
+            rows.append(
+                UniqueRatioRow(
+                    n_snps=m,
+                    block_size=b,
+                    percent_unique=100.0 * useful_ratio(m, b),
+                )
+            )
+    return rows
+
+
+def table1_rows() -> list[dict]:
+    """Table 1 plus the §4.1 derived peak-TOPS column."""
+    out = []
+    for key, system in SYSTEMS.items():
+        out.append(
+            {
+                "system": key,
+                "cpu": system.cpu,
+                "gpu": f"{system.n_gpus}x {system.gpu.name}" if system.n_gpus > 1 else system.gpu.name,
+                "arch": system.gpu.arch,
+                "tensor_cores": system.gpu.tensor_cores,
+                "cuda_cores": system.gpu.cuda_cores,
+                "boost_mhz": system.gpu.boost_clock_hz / 1e6,
+                "memory_gb": system.gpu.memory_gb,
+                "bandwidth_gbps": system.gpu.mem_bandwidth_gbps,
+                "dram_gb": system.dram_gb,
+                "os": system.operating_system,
+                "driver": system.driver,
+                "peak_binary_tops": system.peak_tops,
+            }
+        )
+    return out
+
+
+def prediction_for_point(
+    gpu: GPUSpec, n_gpus: int, n_snps: int, n_samples: int, block_size: int = 32
+) -> PerformancePrediction:
+    """Convenience dispatcher used by the CLI and benches."""
+    if n_gpus == 1:
+        return predict_search(gpu, n_snps, n_samples, block_size)
+    return predict_multi_gpu(gpu, n_gpus, n_snps, n_samples, block_size)

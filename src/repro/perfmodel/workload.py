@@ -1,0 +1,164 @@
+"""Exact work accounting for a fourth-order search (no execution needed).
+
+All counts follow the paper's conventions:
+
+- one fused 1-bit op (AND+POPC or XOR+POPC over one bit) counts as **two**
+  operations;
+- a ``tensorOp_4way`` GEMM for a round is ``(4B^2) x (4B^2) x N_c`` bits per
+  class;
+- a ``tensorOp_3way`` sweep launched at loop level with iterator value
+  ``t0`` is ``(4B^2) x 2(M - t0) x N_c`` bits per class (one sweep per
+  ``Xi`` iteration for ``wx``, two per ``Yi`` iteration for ``wy``/``xy``).
+
+These formulas are asserted against the :class:`~repro.device.VirtualGPU`
+counters in the test suite, so the analytic model and the executed pipeline
+cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import comb
+
+from repro.core.blocks import count_rounds, num_blocks, unique_combinations
+
+
+@dataclass(frozen=True)
+class SearchWorkload:
+    """Total work of one search.
+
+    Attributes:
+        n_snps: padded SNP count ``M``.
+        n_real_snps: unpadded SNP count.
+        block_size: ``B``.
+        n_samples: ``N = N0 + N1``.
+        tensor4_ops: fused-op volume of all ``tensorOp_4way`` GEMMs (x2 per
+            fused op).
+        tensor3_ops: fused-op volume of all ``tensorOp_3way`` GEMMs.
+        combine_bit_ops: bitwise AND volume of all ``combine`` launches.
+        pairwise_ops: plane-dot volume of ``pairwPop``.
+        score_cells: 81-cell-table cells completed and scored.
+        transfer_bytes: dataset bytes shipped to one device.
+        n_rounds: evaluation rounds.
+        quads_processed: positional quads (incl. repeats).
+        unique_quads: ``C(M_real, 4)``.
+    """
+
+    n_snps: int
+    n_real_snps: int
+    block_size: int
+    n_samples: int
+    tensor4_ops: int
+    tensor3_ops: int
+    combine_bit_ops: int
+    pairwise_ops: int
+    score_cells: int
+    transfer_bytes: int
+    n_rounds: int
+    quads_processed: int
+    unique_quads: int
+
+    @property
+    def tensor_ops(self) -> int:
+        """All tensor-core fused-op volume."""
+        return self.tensor4_ops + self.tensor3_ops
+
+    @property
+    def useful_fraction(self) -> float:
+        return self.unique_quads / self.quads_processed
+
+    @property
+    def scaled_quads(self) -> int:
+        """Unique quads x samples — the numerator of the paper's headline
+        metric ("quads of SNPs per second, scaled to sample size")."""
+        return self.unique_quads * self.n_samples
+
+    def tensor_ops_per_scaled_quad(self) -> float:
+        """Tensor ops spent per useful quad-sample (inverse efficiency of
+        the combination scheme; ~``32 / useful_fraction`` plus 3-way terms).
+        """
+        return self.tensor_ops / self.scaled_quads
+
+
+def outer_iteration_tensor_ops(
+    wi: int, nb: int, block_size: int, n_samples: int
+) -> int:
+    """Tensor-op volume of outer iteration ``Wi = wi`` (scheduling weight).
+
+    This is the §3.6 unit of multi-GPU work division; the volume decreases
+    with ``wi``, which the dynamic schedule balances.
+    """
+    if not 0 <= wi < nb:
+        raise ValueError(f"wi must be in [0, {nb}), got {wi}")
+    b = block_size
+    m = nb * b
+    ops = 0
+    for xi in range(wi, nb):
+        # wx sweep: (4B^2) x 2(M - xi*B) x N bits.
+        ops += 2 * (4 * b * b) * (2 * (m - xi * b)) * n_samples
+        for yi in range(xi, nb):
+            # wy + xy sweeps: each (4B^2) x 2(M - yi*B) x N bits.
+            ops += 2 * (2 * (4 * b * b)) * (2 * (m - yi * b)) * n_samples
+            # One 4-way GEMM per Zi iteration: (4B^2) x (4B^2) x N bits.
+            ops += (nb - yi) * 2 * (4 * b * b) * (4 * b * b) * n_samples
+    return ops
+
+
+def search_workload(
+    n_snps: int,
+    n_samples: int,
+    block_size: int,
+    *,
+    n_real_snps: int | None = None,
+) -> SearchWorkload:
+    """Exact totals for a search over ``M`` padded SNPs and ``N`` samples.
+
+    Args:
+        n_snps: padded SNP count (block multiple).
+        n_samples: ``N0 + N1`` (class split does not change totals because
+            every GEMM runs once per class over that class's bits).
+        block_size: ``B``.
+        n_real_snps: unpadded count (defaults to ``n_snps``).
+    """
+    nb = num_blocks(n_snps, block_size)
+    b = block_size
+    m = n_snps
+    real = n_snps if n_real_snps is None else n_real_snps
+
+    tensor3 = 0
+    tensor4 = 0
+    combine_ops = 0
+    n_rounds = count_rounds(nb)
+    # Pair (wi, xi) loop volume:
+    for xi in range(nb):
+        n_wi = xi + 1  # number of wi <= xi
+        tensor3 += n_wi * 2 * (4 * b * b) * (2 * (m - xi * b)) * n_samples
+        combine_ops += n_wi * (4 * b * b) * n_samples  # wx combine
+    # Triple (wi, xi, yi) loop volume:
+    for yi in range(nb):
+        n_pairs = comb(yi + 2, 2)  # (wi <= xi <= yi) count
+        tensor3 += n_pairs * 2 * (2 * (4 * b * b)) * (2 * (m - yi * b)) * n_samples
+        combine_ops += n_pairs * 2 * (4 * b * b) * n_samples  # wy + xy combines
+    # Rounds:
+    tensor4 = n_rounds * 2 * (4 * b * b) * (4 * b * b) * n_samples
+    combine_ops += n_rounds * (4 * b * b) * n_samples  # yz combine
+
+    pairwise = 2 * (2 * m) * (2 * m) * n_samples  # plane-dot volume, both classes
+    score_cells = n_rounds * b**4 * 81 * 2
+    transfer = (2 * m * n_samples) // 8  # dataset bits -> bytes (both classes)
+
+    return SearchWorkload(
+        n_snps=m,
+        n_real_snps=real,
+        block_size=b,
+        n_samples=n_samples,
+        tensor4_ops=tensor4,
+        tensor3_ops=tensor3,
+        combine_bit_ops=combine_ops,
+        pairwise_ops=pairwise,
+        score_cells=score_cells,
+        transfer_bytes=transfer,
+        n_rounds=n_rounds,
+        quads_processed=n_rounds * b**4,
+        unique_quads=unique_combinations(real),
+    )

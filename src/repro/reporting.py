@@ -1,0 +1,121 @@
+"""Plain-text report generation for search results.
+
+Produces the run report a user would archive next to their results: the
+ranked solutions, execution/phase profile, device work counters, memory
+footprint, and (optionally) where the run would sit on the paper's real
+hardware according to the calibrated model.  Used by the CLI's
+``--report`` flag and directly callable from the API.
+"""
+
+from __future__ import annotations
+
+from repro.core.search import SearchResult
+from repro.datasets.dataset import Dataset
+
+
+def _rule(char: str = "-", width: int = 72) -> str:
+    return char * width
+
+
+def format_search_report(
+    result: SearchResult,
+    dataset: Dataset | None = None,
+    *,
+    include_model_projection: bool = True,
+) -> str:
+    """Render a :class:`~repro.core.search.SearchResult` as a text report.
+
+    Args:
+        result: the finished search.
+        dataset: if given, SNP names are resolved in the solution table.
+        include_model_projection: append the calibrated model's projection
+            of the same workload on the paper's hardware.
+
+    Returns:
+        The report as a single string (write it wherever you like).
+    """
+    scheme = result.block_scheme
+    lines: list[str] = []
+    add = lines.append
+
+    add(_rule("="))
+    add("Epi4Tensor search report")
+    add(_rule("="))
+    add(
+        f"dataset      : M={scheme.n_real_snps} SNPs "
+        f"(padded to {scheme.n_snps}), N={result.n_samples} samples"
+    )
+    add(
+        f"device       : {result.n_devices}x {result.spec_name} "
+        f"[{result.engine_name}]"
+    )
+    add(
+        f"block scheme : B={scheme.block_size}, {scheme.n_rounds} rounds, "
+        f"{scheme.quads_processed:,} positional quads "
+        f"({100 * scheme.useful_fraction:.1f}% unique)"
+    )
+    add("")
+
+    add("ranked solutions")
+    add(_rule())
+    names = dataset.snp_names if dataset is not None else None
+    for rank, sol in enumerate(result.top_solutions, start=1):
+        quad = sol.quad
+        label = (
+            " = " + ", ".join(names[i] for i in quad) if names is not None else ""
+        )
+        add(f"  #{rank:<3d} {quad}{label}   score {sol.score:.6f}")
+    add("")
+
+    add("execution profile (simulator wall clock)")
+    add(_rule())
+    total_phase = sum(result.phase_seconds.values()) or 1.0
+    for phase, seconds in sorted(
+        result.phase_seconds.items(), key=lambda kv: -kv[1]
+    ):
+        add(
+            f"  {phase:<10s} {seconds:9.3f}s  "
+            f"{100 * seconds / total_phase:5.1f}%"
+        )
+    add(f"  {'total':<10s} {result.wall_seconds:9.3f}s")
+    add("")
+
+    add("device work counters (all devices)")
+    add(_rule())
+    c = result.counters
+    add(f"  tensor ops (raw)    : {c.total_tensor_ops_raw:.3e}")
+    add(f"  tensor ops (padded) : {c.total_tensor_ops_padded:.3e}")
+    add(f"  combine bit ops     : {c.combine_bit_ops:.3e}")
+    add(f"  score cells         : {c.score_cells:.3e}")
+    add(f"  transferred bytes   : {c.transfer_bytes:,}")
+    kernel_counts = ", ".join(
+        f"{name}={count}" for name, count in sorted(c.launches.items())
+    )
+    add(f"  kernel launches     : {kernel_counts}")
+    add("")
+
+    if include_model_projection:
+        add("calibrated model projection (same workload on real hardware)")
+        add(_rule())
+        from repro.device.specs import A100_PCIE, A100_SXM4, TITAN_RTX
+        from repro.perfmodel.model import predict_search
+
+        block = 32  # paper-standard block on real tensor cores
+        padded = max(
+            ((scheme.n_real_snps + block - 1) // block) * block, 4 * block
+        )
+        for spec in (TITAN_RTX, A100_PCIE, A100_SXM4):
+            pred = predict_search(
+                spec,
+                padded,
+                result.n_samples,
+                block,
+                n_real_snps=scheme.n_real_snps,
+            )
+            add(
+                f"  {spec.name:<10s} {pred.seconds:12.4f}s  "
+                f"({pred.tera_quads_per_second_scaled:8.3f} tera quads/s, "
+                f"{pred.avg_tops:6.0f} TOPS)"
+            )
+        add("")
+    return "\n".join(lines)

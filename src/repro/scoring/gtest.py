@@ -1,0 +1,39 @@
+"""G-test (log-likelihood ratio) association score (extension score)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.scoring.base import ScoreFunction
+
+
+class GTestScore(ScoreFunction):
+    """Likelihood-ratio G statistic: ``2 * sum O * ln(O / E)``.
+
+    Zero-observed cells contribute nothing (``0 * ln 0 := 0``).  Higher
+    values indicate stronger association.
+    """
+
+    name = "gtest"
+    higher_is_better = True
+
+    def __call__(
+        self,
+        controls_table: np.ndarray,
+        cases_table: np.ndarray,
+        order: int | None = None,
+    ) -> np.ndarray:
+        r0 = self._flatten_cells(np.asarray(controls_table, dtype=np.float64), order)
+        r1 = self._flatten_cells(np.asarray(cases_table, dtype=np.float64), order)
+        if r0.shape != r1.shape:
+            raise ValueError(f"class tables disagree: {r0.shape} vs {r1.shape}")
+        cell_totals = r0 + r1
+        n0 = r0.sum(axis=-1, keepdims=True)
+        n1 = r1.sum(axis=-1, keepdims=True)
+        n = n0 + n1
+        with np.errstate(divide="ignore", invalid="ignore"):
+            e0 = cell_totals * n0 / n
+            e1 = cell_totals * n1 / n
+            term0 = np.where(r0 > 0, r0 * np.log(r0 / e0), 0.0)
+            term1 = np.where(r1 > 0, r1 * np.log(r1 / e1), 0.0)
+        return 2.0 * (term0 + term1).sum(axis=-1)

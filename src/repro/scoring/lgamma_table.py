@@ -1,0 +1,57 @@
+"""Integer-argument ``lgamma`` lookup table (paper §3.5).
+
+The K2 score is a sum of log-factorials; using ``Gamma(x) = (x-1)!`` these
+become ``lgamma`` evaluations at integer arguments bounded by ``N + 2``.
+The paper precomputes "all the lgamma(x) values that can be requested during
+the search phase" once at start-up; each GPU keeps a copy.  This class is
+that table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import gammaln
+
+
+class LgammaTable:
+    """Precomputed ``lgamma(i)`` for ``i = 0 .. max_argument``.
+
+    ``lgamma(0)`` is ``+inf`` mathematically; it is stored as ``0.0`` because
+    the K2 expression only ever indexes arguments ``>= 1`` (counts are offset
+    by at least 1) and a finite sentinel keeps vectorized gathers safe.
+    """
+
+    def __init__(self, max_argument: int) -> None:
+        if max_argument < 1:
+            raise ValueError(f"max_argument must be >= 1, got {max_argument}")
+        self.max_argument = int(max_argument)
+        values = gammaln(np.arange(self.max_argument + 1, dtype=np.float64))
+        values[0] = 0.0
+        self._values = values
+
+    @classmethod
+    def for_samples(cls, n_samples: int) -> "LgammaTable":
+        """Table sized for a dataset with ``n_samples`` samples.
+
+        K2 needs ``lgamma(r_i + 2)`` where ``r_i <= N``, so ``N + 2`` is the
+        largest argument any search can request.
+        """
+        return cls(n_samples + 2)
+
+    def __call__(self, arguments: np.ndarray) -> np.ndarray:
+        """Vectorized lookup: ``lgamma(arguments)`` for integer arguments."""
+        idx = np.asarray(arguments)
+        if idx.size and (idx.min() < 0 or idx.max() > self.max_argument):
+            raise IndexError(
+                f"lgamma argument out of table range [0, {self.max_argument}]: "
+                f"min={idx.min()}, max={idx.max()}"
+            )
+        return self._values[idx]
+
+    @property
+    def nbytes(self) -> int:
+        """Table footprint in bytes (each device stores one copy)."""
+        return int(self._values.nbytes)
+
+    def __repr__(self) -> str:
+        return f"LgammaTable(max_argument={self.max_argument})"

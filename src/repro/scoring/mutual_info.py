@@ -1,0 +1,39 @@
+"""Mutual information between genotype cell and phenotype (extension score)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.scoring.base import ScoreFunction
+
+
+class MutualInformationScore(ScoreFunction):
+    """``I(genotype; phenotype)`` in nats over the joint cell/class table.
+
+    Higher values indicate stronger association.  Related to the G statistic
+    by ``G = 2 * N * I`` — a relation the test suite checks.
+    """
+
+    name = "mi"
+    higher_is_better = True
+
+    def __call__(
+        self,
+        controls_table: np.ndarray,
+        cases_table: np.ndarray,
+        order: int | None = None,
+    ) -> np.ndarray:
+        r0 = self._flatten_cells(np.asarray(controls_table, dtype=np.float64), order)
+        r1 = self._flatten_cells(np.asarray(cases_table, dtype=np.float64), order)
+        if r0.shape != r1.shape:
+            raise ValueError(f"class tables disagree: {r0.shape} vs {r1.shape}")
+        n = (r0 + r1).sum(axis=-1, keepdims=True)
+        p0 = r0 / n
+        p1 = r1 / n
+        p_cell = p0 + p1
+        q0 = p0.sum(axis=-1, keepdims=True)
+        q1 = p1.sum(axis=-1, keepdims=True)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            term0 = np.where(p0 > 0, p0 * np.log(p0 / (p_cell * q0)), 0.0)
+            term1 = np.where(p1 > 0, p1 * np.log(p1 / (p_cell * q1)), 0.0)
+        return (term0 + term1).sum(axis=-1)

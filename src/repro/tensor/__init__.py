@@ -1,0 +1,37 @@
+"""Binary tensor-GEMM engines — the simulated 1-bit tensor-core substrate.
+
+The paper maps contingency-table construction onto 1-bit tensor-core matrix
+operations: ``C[i, j] = POPC(AND(A_i, B_j))`` (Ampere) or
+``POPC(XOR(A_i, B_j))`` (Turing), with §3.4's translation layer recovering
+AND-counts from XOR-counts.  This package reproduces both semantics exactly:
+
+- :class:`AndPopcEngine` — native fused AND+POPC (Ampere-style).
+- :class:`XorPopcEngine` — fused XOR+POPC plus the translation layer
+  (Turing-style); its *raw* output is a true XOR popcount, so the
+  compatibility path is exercised for real, not short-circuited.
+
+Each engine offers two execution paths with identical integer results:
+
+- ``mode="dense"`` unpacks bit-planes to float32 and calls BLAS ``matmul`` —
+  the same "map bit counting onto a matrix-multiply unit" trick the paper
+  plays, with BLAS standing in for the tensor cores; and
+- ``mode="packed"`` performs a blocked popcount-GEMM over ``uint64`` words,
+  the literal semantics of the CUTLASS 1-bit kernels.
+"""
+
+from repro.tensor.and_popc import AndPopcEngine
+from repro.tensor.engine import BinaryTensorEngine, GemmShape, make_engine
+from repro.tensor.tiles import TileConfig, AMPERE_TILES, TURING_TILES
+from repro.tensor.xor_popc import XorPopcEngine, xor_to_and_counts
+
+__all__ = [
+    "AMPERE_TILES",
+    "AndPopcEngine",
+    "BinaryTensorEngine",
+    "GemmShape",
+    "TURING_TILES",
+    "TileConfig",
+    "XorPopcEngine",
+    "make_engine",
+    "xor_to_and_counts",
+]

@@ -1,0 +1,101 @@
+"""Abstract binary tensor engine and engine registry.
+
+An engine consumes two :class:`~repro.bitops.BitMatrix` operands and returns
+the ``(R_a, R_b)`` integer matrix of AND-popcounts — the genotype
+co-occurrence counts at the heart of contingency-table construction.  How it
+gets there differs per microarchitecture model:
+
+- :class:`~repro.tensor.AndPopcEngine` counts matches directly (Ampere's
+  fused ``AND+POPC``);
+- :class:`~repro.tensor.XorPopcEngine` produces mismatch counts (Turing's
+  fused ``XOR+POPC``) and translates them (§3.4).
+
+Engines are pure compute: operation *accounting* (for the performance model)
+is done by the device layer from the GEMM shapes each call reports via
+:attr:`BinaryTensorEngine.last_shapes`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bitops.bitmatrix import BitMatrix
+
+#: Execution paths shared by all engines.
+EXECUTION_MODES = ("dense", "packed")
+
+
+@dataclass(frozen=True)
+class GemmShape:
+    """Shape of one binary GEMM launch: ``(m, n)`` rows and ``k`` bits."""
+
+    m: int
+    n: int
+    k_bits: int
+
+    @property
+    def fused_ops(self) -> int:
+        """Fused binary ops of the un-quantized problem (1 fused op = 2 ops)."""
+        return 2 * self.m * self.n * self.k_bits
+
+
+class BinaryTensorEngine(abc.ABC):
+    """Base class for binary tensor-GEMM engines.
+
+    Args:
+        mode: ``"dense"`` (bit-planes unpacked to float32, BLAS matmul — the
+            fast path) or ``"packed"`` (blocked popcount over uint64 words —
+            the reference path).  Both produce identical integers.
+    """
+
+    #: Human-readable engine name; subclasses override.
+    name: str = "abstract"
+    #: Operation the hardware model fuses with POPC ("and" or "xor").
+    native_op: str = "none"
+
+    def __init__(self, mode: str = "dense") -> None:
+        if mode not in EXECUTION_MODES:
+            raise ValueError(f"mode must be one of {EXECUTION_MODES}, got {mode!r}")
+        self.mode = mode
+        #: Shapes of GEMMs launched since the last :meth:`reset_shapes` call.
+        self.last_shapes: list[GemmShape] = []
+
+    # ------------------------------------------------------------------ #
+
+    @abc.abstractmethod
+    def matmul_popcount(self, a: BitMatrix, b: BitMatrix) -> np.ndarray:
+        """Return ``C[i, j] = POPC(a_i AND b_j)`` as an ``(R_a, R_b)`` int64
+        matrix, by whatever native operation the modelled hardware supports.
+        """
+
+    # ------------------------------------------------------------------ #
+    # Accounting hooks
+
+    def _record(self, a: BitMatrix, b: BitMatrix) -> None:
+        self.last_shapes.append(GemmShape(m=a.n_rows, n=b.n_rows, k_bits=a.n_bits))
+
+    def reset_shapes(self) -> None:
+        """Forget recorded GEMM shapes (called by the device layer)."""
+        self.last_shapes = []
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(mode={self.mode!r})"
+
+
+def make_engine(kind: str, mode: str = "dense") -> BinaryTensorEngine:
+    """Engine factory.
+
+    Args:
+        kind: ``"and_popc"`` (Ampere-style) or ``"xor_popc"`` (Turing-style).
+        mode: execution path, see :class:`BinaryTensorEngine`.
+    """
+    from repro.tensor.and_popc import AndPopcEngine
+    from repro.tensor.xor_popc import XorPopcEngine
+
+    kinds = {"and_popc": AndPopcEngine, "xor_popc": XorPopcEngine}
+    if kind not in kinds:
+        raise ValueError(f"kind must be one of {sorted(kinds)}, got {kind!r}")
+    return kinds[kind](mode=mode)

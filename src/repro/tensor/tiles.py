@@ -1,0 +1,90 @@
+"""CUTLASS-style tile configurations (paper §4.4).
+
+The CUDA implementation tunes three nested tile shapes — threadblock, warp
+and instruction (MMA) — for each microarchitecture.  We keep the same
+structure: the tile config does not change functional results, but it
+determines *tile quantization*: GEMM dimensions are padded up to tile
+multiples, and the padded volume is what the tensor cores actually execute.
+The device performance model charges simulated time for the padded volume,
+which is how small-``N``/small-``B`` runs lose efficiency exactly as the
+paper observes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TileConfig:
+    """Nested tile shapes for a binary GEMM kernel.
+
+    Each shape is ``(m, n, k)`` with ``k`` expressed in **bits**.
+
+    Attributes:
+        threadblock: tile computed by one thread block.
+        warp: tile computed by one warp.
+        instruction: tile of one MMA instruction.
+    """
+
+    threadblock: tuple[int, int, int]
+    warp: tuple[int, int, int]
+    instruction: tuple[int, int, int]
+
+    def __post_init__(self) -> None:
+        for name, shape in (
+            ("threadblock", self.threadblock),
+            ("warp", self.warp),
+            ("instruction", self.instruction),
+        ):
+            if len(shape) != 3 or any(d <= 0 for d in shape):
+                raise ValueError(f"{name} tile must be 3 positive ints, got {shape}")
+        for axis in range(3):
+            if self.threadblock[axis] % self.warp[axis]:
+                raise ValueError(
+                    f"threadblock tile {self.threadblock} not divisible by "
+                    f"warp tile {self.warp} on axis {axis}"
+                )
+            if self.warp[axis] % self.instruction[axis]:
+                raise ValueError(
+                    f"warp tile {self.warp} not divisible by instruction "
+                    f"tile {self.instruction} on axis {axis}"
+                )
+
+    def padded_shape(self, m: int, n: int, k_bits: int) -> tuple[int, int, int]:
+        """GEMM dims rounded up to threadblock tile multiples (quantization)."""
+        tb_m, tb_n, tb_k = self.threadblock
+        pad = lambda v, t: ((v + t - 1) // t) * t  # noqa: E731 - tiny local helper
+        return pad(m, tb_m), pad(n, tb_n), pad(k_bits, tb_k)
+
+    def padded_ops(self, m: int, n: int, k_bits: int) -> int:
+        """Fused-op count actually executed after tile quantization.
+
+        One fused XOR+POPC / AND+POPC over one bit counts as 2 operations
+        (multiply + add), matching the paper's TOPS accounting.
+        """
+        pm, pn, pk = self.padded_shape(m, n, k_bits)
+        return 2 * pm * pn * pk
+
+    def utilization(self, m: int, n: int, k_bits: int) -> float:
+        """Useful fraction of the executed volume (1.0 = no quantization loss)."""
+        useful = 2 * m * n * k_bits
+        executed = self.padded_ops(m, n, k_bits)
+        return useful / executed if executed else 0.0
+
+
+#: Paper §4.4, Ampere: threadblock 128x256x1024, warp 64x64x1024,
+#: instruction 16x8x256.
+AMPERE_TILES = TileConfig(
+    threadblock=(128, 256, 1024),
+    warp=(64, 64, 1024),
+    instruction=(16, 8, 256),
+)
+
+#: Paper §4.4, Turing: threadblock 128x128x1024, warp 64x32x1024,
+#: instruction 8x8x128 ("the only instruction tile supported on Turing").
+TURING_TILES = TileConfig(
+    threadblock=(128, 128, 1024),
+    warp=(64, 32, 1024),
+    instruction=(8, 8, 128),
+)

@@ -1,0 +1,115 @@
+"""Instruction-level binary WMMA execution model.
+
+The CUDA implementation issues 1-bit MMA instructions over fixed fragment
+shapes (``8x8x128`` on Turing, ``16x8x256`` on Ampere, §4.4).  This module
+executes a binary GEMM the way the hardware does along the reduction
+dimension — iterating word-aligned ``k`` fragments and accumulating int32
+partial counts — while tiling over ``m``/``n`` is accounted analytically
+from the :class:`~repro.tensor.TileConfig`.
+
+It serves two purposes:
+
+- an independent execution path whose results must match the engines
+  bit-for-bit (tested), and
+- an instruction/cycle oracle: ``instructions * fused-ops-per-instruction``
+  must equal the tile-quantized op count the performance model charges,
+  which pins the accounting to an executable definition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bitops.bitmatrix import BitMatrix, WORD_BITS
+from repro.tensor.gemm_packed import gemm_and_popcount, gemm_xor_popcount
+from repro.tensor.tiles import TileConfig
+
+
+@dataclass(frozen=True)
+class WmmaStats:
+    """Execution statistics of one tile-level GEMM.
+
+    Attributes:
+        padded_shape: ``(m, n, k_bits)`` after threadblock-tile quantization.
+        instructions: MMA instructions issued (over the padded volume).
+        k_fragments: reduction-dimension fragments executed.
+        fused_ops: total fused ops of the padded volume (2 ops per
+            fused multiply-add equivalent, the paper's convention).
+    """
+
+    padded_shape: tuple[int, int, int]
+    instructions: int
+    k_fragments: int
+    fused_ops: int
+
+
+class WmmaGemm:
+    """Fragment-wise binary GEMM executor.
+
+    Args:
+        tiles: tile configuration (instruction ``k`` must be word-aligned,
+            which both §4.4 configurations are: 128 and 256 bits).
+        op: ``"and"`` (Ampere semantics) or ``"xor"`` (Turing semantics).
+    """
+
+    def __init__(self, tiles: TileConfig, op: str = "and") -> None:
+        if op not in ("and", "xor"):
+            raise ValueError(f"op must be 'and' or 'xor', got {op!r}")
+        inst_k = tiles.instruction[2]
+        if inst_k % WORD_BITS:
+            raise ValueError(
+                f"instruction k={inst_k} bits is not word-aligned"
+            )
+        self.tiles = tiles
+        self.op = op
+
+    def gemm(self, a: BitMatrix, b: BitMatrix) -> tuple[np.ndarray, WmmaStats]:
+        """Execute ``C[i, j] = POPC(op(a_i, b_j))`` fragment by fragment.
+
+        Returns:
+            ``(counts, stats)`` where ``counts`` is the ``(R_a, R_b)`` int64
+            result over the *un-padded* rows and ``stats`` covers the padded
+            execution.
+        """
+        if a.n_bits != b.n_bits:
+            raise ValueError(
+                f"operand bit widths differ: {a.n_bits} vs {b.n_bits}"
+            )
+        pm, pn, pk = self.tiles.padded_shape(a.n_rows, b.n_rows, a.n_bits)
+        a_pad = self._pad(a, pm, pk)
+        b_pad = self._pad(b, pn, pk)
+
+        inst_m, inst_n, inst_k = self.tiles.instruction
+        words_per_fragment = inst_k // WORD_BITS
+        n_fragments = pk // inst_k
+        acc = np.zeros((pm, pn), dtype=np.int64)
+        kernel = gemm_and_popcount if self.op == "and" else gemm_xor_popcount
+        for frag in range(n_fragments):
+            w0 = frag * words_per_fragment
+            w1 = w0 + words_per_fragment
+            a_slice = BitMatrix(
+                data=a_pad.data[:, w0:w1], n_bits=inst_k
+            )
+            b_slice = BitMatrix(
+                data=b_pad.data[:, w0:w1], n_bits=inst_k
+            )
+            acc += kernel(a_slice, b_slice)
+
+        instructions = (pm // inst_m) * (pn // inst_n) * n_fragments
+        stats = WmmaStats(
+            padded_shape=(pm, pn, pk),
+            instructions=instructions,
+            k_fragments=n_fragments,
+            fused_ops=2 * pm * pn * pk,
+        )
+        return acc[: a.n_rows, : b.n_rows], stats
+
+    @staticmethod
+    def _pad(matrix: BitMatrix, rows: int, k_bits: int) -> BitMatrix:
+        """Zero-pad a BitMatrix to ``rows`` x ``k_bits`` (word multiple)."""
+        words = k_bits // WORD_BITS
+        out = np.zeros((rows, words), dtype=np.uint64)
+        out[: matrix.n_rows, : matrix.n_words] = matrix.data
+        return BitMatrix(data=out, n_bits=k_bits)

@@ -1,0 +1,17 @@
+"""Small shared utilities: validation helpers, timers, deterministic RNG."""
+
+from repro.utils.validation import (
+    check_dtype,
+    check_positive,
+    check_range,
+    check_shape,
+)
+from repro.utils.timing import Timer
+
+__all__ = [
+    "Timer",
+    "check_dtype",
+    "check_positive",
+    "check_range",
+    "check_shape",
+]

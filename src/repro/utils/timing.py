@@ -1,0 +1,38 @@
+"""Wall-clock timing helper used by the search driver and benchmarks."""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """Accumulating wall-clock timer.
+
+    Usage::
+
+        t = Timer()
+        with t:
+            work()
+        print(t.elapsed)
+
+    Re-entering accumulates, which lets callers time a phase that is spread
+    over many loop iterations (e.g. all ``combine`` launches of a search).
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        assert self._start is not None, "Timer.__exit__ without __enter__"
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+
+    def reset(self) -> None:
+        """Zero the accumulated time."""
+        self.elapsed = 0.0
+        self._start = None

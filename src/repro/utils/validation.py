@@ -1,0 +1,49 @@
+"""Argument validation helpers.
+
+These raise early, with messages that name the offending argument, so that
+errors surface at API boundaries instead of deep inside vectorized kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+
+def check_positive(name: str, value: float, *, strict: bool = True) -> None:
+    """Raise ``ValueError`` unless ``value`` is positive (or >= 0 if not strict)."""
+    if strict and value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+
+
+def check_range(name: str, value: float, lo: float, hi: float) -> None:
+    """Raise ``ValueError`` unless ``lo <= value <= hi``."""
+    if not (lo <= value <= hi):
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+
+
+def check_shape(name: str, array: np.ndarray, shape: tuple[Any, ...]) -> None:
+    """Raise ``ValueError`` unless ``array.shape`` matches ``shape``.
+
+    ``None`` entries in ``shape`` act as wildcards.
+    """
+    if array.ndim != len(shape):
+        raise ValueError(
+            f"{name} must have {len(shape)} dimensions, got shape {array.shape}"
+        )
+    for axis, want in enumerate(shape):
+        if want is not None and array.shape[axis] != want:
+            raise ValueError(
+                f"{name} must have shape {shape}, got {array.shape}"
+            )
+
+
+def check_dtype(name: str, array: np.ndarray, dtype: type) -> None:
+    """Raise ``TypeError`` unless ``array.dtype`` equals ``dtype``."""
+    if array.dtype != np.dtype(dtype):
+        raise TypeError(
+            f"{name} must have dtype {np.dtype(dtype)}, got {array.dtype}"
+        )

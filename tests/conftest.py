@@ -1,0 +1,43 @@
+"""Shared fixtures and hypothesis profile for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.datasets import Dataset, generate_random_dataset
+
+# Single-core CI-friendly hypothesis profile: enough examples to matter,
+# bounded runtime.
+settings.register_profile(
+    "repro",
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture(scope="session")
+def small_dataset() -> Dataset:
+    """13 SNPs x 240 samples — padding exercised at every block size."""
+    return generate_random_dataset(13, 240, seed=7)
+
+
+@pytest.fixture(scope="session")
+def medium_dataset() -> Dataset:
+    """24 SNPs x 400 samples — multiple blocks at B=4/8."""
+    return generate_random_dataset(24, 400, seed=19)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def make_genotypes(
+    rng: np.random.Generator, n_snps: int, n_samples: int
+) -> np.ndarray:
+    """Uniform random genotype matrix (helper usable from any test)."""
+    return rng.integers(0, 3, size=(n_snps, n_samples), dtype=np.int8)

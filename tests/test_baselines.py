@@ -1,0 +1,83 @@
+"""Tests for the baseline detectors and their agreement with the pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BitEpiBaseline,
+    NaiveBaseline,
+    SinglePhaseBaseline,
+    single_phase_memory_bytes,
+)
+from repro.contingency import contingency_tables_by_class
+from repro.core.search import search_best_quad
+from repro.datasets import generate_random_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_random_dataset(10, 150, seed=11)
+
+
+class TestAgreement:
+    def test_all_implementations_agree(self, dataset):
+        tensor = search_best_quad(dataset, block_size=4).solution
+        assert BitEpiBaseline().search(dataset) == tensor
+        assert NaiveBaseline().search(dataset) == tensor
+        assert SinglePhaseBaseline().search(dataset) == tensor
+
+    def test_agreement_with_unbalanced_classes(self):
+        ds = generate_random_dataset(8, 120, case_fraction=0.3, seed=2)
+        tensor = search_best_quad(ds, block_size=4).solution
+        assert BitEpiBaseline().search(ds) == tensor
+
+
+class TestBitEpi:
+    def test_count_table_matches_brute_force(self, dataset):
+        quad = (1, 4, 6, 9)
+        t0, t1 = BitEpiBaseline().count_table(dataset, quad)
+        e0, e1 = contingency_tables_by_class(dataset, quad)
+        np.testing.assert_array_equal(t0, e0)
+        np.testing.assert_array_equal(t1, e1)
+
+    def test_rejects_small_dataset(self):
+        with pytest.raises(ValueError, match="at least 4"):
+            BitEpiBaseline().search(generate_random_dataset(3, 20, seed=0))
+
+
+class TestNaive:
+    def test_rejects_small_dataset(self):
+        with pytest.raises(ValueError, match="at least 4"):
+            NaiveBaseline().search(generate_random_dataset(3, 20, seed=0))
+
+    def test_throughput_probe(self, dataset):
+        assert NaiveBaseline().quads_per_second(dataset, n_quads=20) > 0
+
+
+class TestSinglePhase:
+    def test_memory_formula(self):
+        # 2 classes x C(M,3) x 27 cells x 4 bytes.
+        assert single_phase_memory_bytes(250) == 2 * 2573000 * 27 * 4
+
+    def test_memory_blow_up_with_snps(self):
+        # The §5 limitation: ~309 GB at 2048 SNPs — no device holds it.
+        assert single_phase_memory_bytes(2048) > 300e9
+        assert single_phase_memory_bytes(250) < 1e9
+
+    def test_refuses_over_budget(self, dataset):
+        baseline = SinglePhaseBaseline(memory_limit_bytes=10_000)
+        with pytest.raises(MemoryError, match="multi-phase"):
+            baseline.build_triplet_store(dataset)
+
+    def test_store_content(self, dataset):
+        from repro.baselines.single_phase import _triplet_rank
+        from repro.contingency import contingency_table
+
+        store = SinglePhaseBaseline().build_triplet_store(dataset)
+        g0 = dataset.class_genotypes(0)
+        expected = contingency_table(g0[[2, 5, 7]]).reshape(27)
+        np.testing.assert_array_equal(store[0, _triplet_rank(2, 5, 7)], expected)
+
+    def test_rejects_small_dataset(self):
+        with pytest.raises(ValueError, match="at least"):
+            SinglePhaseBaseline().search(generate_random_dataset(3, 20, seed=0))

@@ -1,0 +1,118 @@
+"""Unit tests for the block combination scheme and its combinatorics (§3.2/§4.5)."""
+
+from math import comb
+
+import pytest
+
+from repro.core.blocks import (
+    BlockScheme,
+    count_rounds,
+    iter_rounds,
+    num_blocks,
+    rounds_for_outer,
+    total_quads_processed,
+    unique_combinations,
+    useful_ratio,
+)
+
+
+class TestPaperRatios:
+    """The §4.5 unique-combination percentages, reproduced exactly."""
+
+    @pytest.mark.parametrize(
+        "m,expected_pct",
+        [(256, 50.5), (512, 69.6), (1024, 83.0), (2048, 90.9)],
+    )
+    def test_block32(self, m, expected_pct):
+        assert round(100 * useful_ratio(m, 32), 1) == expected_pct
+
+    @pytest.mark.parametrize(
+        "m,expected_pct",
+        [(256, 29.8), (512, 51.1), (1024, 70.0), (2048, 83.2)],
+    )
+    def test_block64(self, m, expected_pct):
+        assert round(100 * useful_ratio(m, 64), 1) == expected_pct
+
+    @pytest.mark.parametrize(
+        "m,expected",
+        [
+            (256, 174792640),
+            (512, 2829877120),
+            (1024, 45545029376),
+            (2048, 730862190080),
+            (4096, 11710951848960),
+        ],
+    )
+    def test_paper_combination_counts(self, m, expected):
+        """The §4.3 bracketed combination counts."""
+        assert unique_combinations(m) == expected
+
+
+class TestRounds:
+    def test_count_formula(self):
+        for nb in (1, 2, 3, 5, 8):
+            assert count_rounds(nb) == comb(nb + 3, 4)
+
+    def test_iter_matches_count(self):
+        for nb in (1, 2, 4):
+            rounds = list(iter_rounds(nb))
+            assert len(rounds) == count_rounds(nb)
+            assert all(w <= x <= y <= z for w, x, y, z in rounds)
+            assert len(set(rounds)) == len(rounds)
+
+    def test_iteration_is_lexicographic(self):
+        rounds = list(iter_rounds(3))
+        assert rounds == sorted(rounds)
+
+    def test_rounds_for_outer_sums_to_total(self):
+        for nb in (1, 3, 6):
+            assert sum(rounds_for_outer(w, nb) for w in range(nb)) == count_rounds(nb)
+
+    def test_rounds_for_outer_decreasing(self):
+        values = [rounds_for_outer(w, 8) for w in range(8)]
+        assert values == sorted(values, reverse=True)
+
+    def test_rounds_for_outer_bounds(self):
+        with pytest.raises(ValueError):
+            rounds_for_outer(8, 8)
+
+    def test_total_quads(self):
+        assert total_quads_processed(256, 32) == comb(11, 4) * 32**4
+
+
+class TestNumBlocks:
+    def test_valid(self):
+        assert num_blocks(64, 16) == 4
+
+    def test_rejects_non_multiple(self):
+        with pytest.raises(ValueError, match="multiple"):
+            num_blocks(65, 16)
+
+    def test_rejects_bad_block_size(self):
+        with pytest.raises(ValueError, match="block_size"):
+            num_blocks(64, 0)
+
+
+class TestBlockScheme:
+    def test_properties(self):
+        scheme = BlockScheme(n_snps=64, n_real_snps=60, block_size=16)
+        assert scheme.nb == 4
+        assert scheme.n_rounds == comb(7, 4)
+        assert scheme.unique_quads == comb(60, 4)
+        assert scheme.quads_processed == comb(7, 4) * 16**4
+        assert 0 < scheme.useful_fraction < 1
+
+    def test_block_start(self):
+        scheme = BlockScheme(n_snps=64, n_real_snps=64, block_size=16)
+        assert scheme.block_start(2) == 32
+        with pytest.raises(IndexError):
+            scheme.block_start(4)
+
+    def test_rejects_bad_real_count(self):
+        with pytest.raises(ValueError, match="n_real_snps"):
+            BlockScheme(n_snps=64, n_real_snps=65, block_size=16)
+
+    def test_padded_ratio_uses_real_count(self):
+        padded = useful_ratio(64, 16, n_real_snps=50)
+        unpadded = useful_ratio(64, 16)
+        assert padded < unpadded

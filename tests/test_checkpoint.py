@@ -1,0 +1,127 @@
+"""Tests for checkpoint/resume."""
+
+import json
+
+import pytest
+
+from repro.core.checkpoint import SearchCheckpoint, search_fingerprint
+from repro.core.reduction import TopKReducer
+from repro.core.search import Epi4TensorSearch, SearchConfig
+from repro.core.solution import Solution
+from repro.datasets import generate_random_dataset
+
+
+def _fingerprint(**overrides):
+    base = dict(
+        n_snps=16, n_real_snps=13, n_controls=60, n_cases=60, block_size=4,
+        engine_kind="and_popc", score_name="k2", top_k=1, partition="outer",
+        n_gpus=1,
+    )
+    base.update(overrides)
+    return search_fingerprint(**base)
+
+
+class TestCheckpointFile:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        ckpt = SearchCheckpoint(fingerprint=_fingerprint())
+        reducer = TopKReducer(2)
+        import numpy as np
+
+        scores = np.full((2, 2, 2, 2), np.inf)
+        scores[0, 1, 0, 1] = 3.0
+        reducer.add_round(scores, (0, 4, 8, 12))
+        ckpt.record(0, reducer)
+        ckpt.save(path)
+        loaded = SearchCheckpoint.load(path, _fingerprint())
+        assert loaded.completed == {0}
+        assert loaded.solutions == [Solution.from_quad((0, 5, 8, 13), 3.0)]
+
+    def test_missing_file_starts_fresh(self, tmp_path):
+        ckpt = SearchCheckpoint.load(tmp_path / "none.json", _fingerprint())
+        assert ckpt.completed == set()
+        assert ckpt.solutions == []
+
+    def test_fingerprint_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        SearchCheckpoint(fingerprint=_fingerprint()).save(path)
+        with pytest.raises(ValueError, match="different search"):
+            SearchCheckpoint.load(path, _fingerprint(block_size=8))
+
+    def test_atomic_write_leaves_valid_json(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        ckpt = SearchCheckpoint(fingerprint=_fingerprint())
+        ckpt.save(path)
+        with open(path) as fh:
+            payload = json.load(fh)
+        assert payload["fingerprint"] == _fingerprint()
+
+
+class TestResume:
+    def test_full_run_writes_checkpoint(self, tmp_path):
+        ds = generate_random_dataset(16, 120, seed=1)
+        path = tmp_path / "run.json"
+        res = Epi4TensorSearch(ds, SearchConfig(block_size=4)).run(
+            checkpoint_path=path
+        )
+        loaded = json.loads(path.read_text())
+        assert sorted(loaded["completed"]) == list(range(4))
+        assert loaded["solutions"][0][1] == res.solution.packed
+
+    def test_resume_skips_completed_and_matches(self, tmp_path):
+        ds = generate_random_dataset(16, 120, seed=2)
+        path = tmp_path / "run.json"
+        reference = Epi4TensorSearch(ds, SearchConfig(block_size=4)).run()
+
+        # Simulate a crash after two outer iterations: run fully, then
+        # truncate the checkpoint to iterations {0, 1}.
+        Epi4TensorSearch(ds, SearchConfig(block_size=4)).run(
+            checkpoint_path=path
+        )
+        payload = json.loads(path.read_text())
+        payload["completed"] = [0, 1]
+        path.write_text(json.dumps(payload))
+
+        resumed_search = Epi4TensorSearch(ds, SearchConfig(block_size=4))
+        resumed = resumed_search.run(checkpoint_path=path)
+        assert resumed.solution == reference.solution
+        # Only iterations 2 and 3 were re-executed.
+        from repro.perfmodel.workload import outer_iteration_tensor_ops
+
+        expected_ops = sum(
+            outer_iteration_tensor_ops(wi, 4, 4, 120) for wi in (2, 3)
+        )
+        assert resumed.counters.total_tensor_ops_raw == expected_ops
+
+    def test_resume_with_top_k(self, tmp_path):
+        ds = generate_random_dataset(16, 120, seed=3)
+        path = tmp_path / "run.json"
+        config = SearchConfig(block_size=4, top_k=5)
+        reference = Epi4TensorSearch(ds, config).run()
+        Epi4TensorSearch(ds, config).run(checkpoint_path=path)
+        payload = json.loads(path.read_text())
+        payload["completed"] = [0]
+        path.write_text(json.dumps(payload))
+        resumed = Epi4TensorSearch(ds, config).run(checkpoint_path=path)
+        assert resumed.top_solutions == reference.top_solutions
+
+    def test_fully_completed_checkpoint_runs_nothing(self, tmp_path):
+        ds = generate_random_dataset(16, 120, seed=4)
+        path = tmp_path / "run.json"
+        reference = Epi4TensorSearch(ds, SearchConfig(block_size=4)).run(
+            checkpoint_path=path
+        )
+        resumed = Epi4TensorSearch(ds, SearchConfig(block_size=4)).run(
+            checkpoint_path=path
+        )
+        assert resumed.solution == reference.solution
+        assert resumed.counters.total_tensor_ops_raw == 0
+
+    def test_config_change_rejected(self, tmp_path):
+        ds = generate_random_dataset(16, 120, seed=5)
+        path = tmp_path / "run.json"
+        Epi4TensorSearch(ds, SearchConfig(block_size=4)).run(checkpoint_path=path)
+        with pytest.raises(ValueError, match="different search"):
+            Epi4TensorSearch(ds, SearchConfig(block_size=8)).run(
+                checkpoint_path=path
+            )

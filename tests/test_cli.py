@@ -1,0 +1,160 @@
+"""Tests for the epi4tensor CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.datasets import generate_random_dataset, save_dataset, save_dataset_csv
+
+
+class TestSearch:
+    def test_synthetic_search(self, capsys):
+        assert main(
+            ["search", "--snps", "12", "--samples", "128", "--block-size", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "#1:" in out
+        assert "useful" in out
+
+    def test_top_k_and_pvalue(self, capsys):
+        assert main(
+            ["search", "--snps", "12", "--samples", "128", "--block-size", "4",
+             "--top-k", "3", "--permutations", "19"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "#3:" in out
+        assert "p-value" in out
+
+    @pytest.mark.parametrize("order", ["2", "3"])
+    def test_lower_orders(self, order, capsys):
+        assert main(
+            ["search", "--snps", "10", "--samples", "96", "--block-size", "5",
+             "--order", order]
+        ) == 0
+        assert f"best {order}-set" in capsys.readouterr().out
+
+    def test_plink_input(self, tmp_path, capsys):
+        from repro.datasets import generate_random_dataset, save_plink
+
+        ds = generate_random_dataset(8, 80, maf_range=(0.15, 0.35), seed=4)
+        prefix = tmp_path / "study"
+        save_plink(prefix, ds)
+        assert main(["search", "--input", str(prefix), "--block-size", "4"]) == 0
+        assert "loaded" in capsys.readouterr().out
+
+    def test_npz_input(self, tmp_path, capsys):
+        ds = generate_random_dataset(10, 100, seed=1)
+        path = tmp_path / "ds.npz"
+        save_dataset(path, ds)
+        assert main(["search", "--input", str(path), "--block-size", "4"]) == 0
+        assert "loaded" in capsys.readouterr().out
+
+    def test_csv_input(self, tmp_path, capsys):
+        ds = generate_random_dataset(8, 80, seed=1)
+        path = tmp_path / "ds.csv"
+        save_dataset_csv(path, ds)
+        assert main(["search", "--input", str(path), "--block-size", "4"]) == 0
+
+    def test_alternative_score_and_engine(self, capsys):
+        assert main(
+            [
+                "search", "--snps", "10", "--samples", "96",
+                "--block-size", "4", "--score", "chi2",
+                "--engine", "xor_popc", "--gpu", "Titan RTX",
+            ]
+        ) == 0
+        assert "xor_popc" in capsys.readouterr().out
+
+
+class TestPredict:
+    def test_single_gpu(self, capsys):
+        assert main(["predict", "--snps", "2048", "--samples", "262144"]) == 0
+        assert "tera" in capsys.readouterr().out
+
+    def test_multi_gpu(self, capsys):
+        assert main(
+            [
+                "predict", "--snps", "4096", "--samples", "524288",
+                "--gpu", "A100 SXM4", "--n-gpus", "8",
+            ]
+        ) == 0
+        assert "speedup" in capsys.readouterr().out
+
+
+class TestFigures:
+    @pytest.mark.parametrize("which", ["table1", "fig3", "table2", "ratios"])
+    def test_prints(self, which, capsys):
+        assert main(["figures", which]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_fig2(self, capsys):
+        assert main(["figures", "fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "S1" in out and "S2" in out
+
+    def test_csv_export(self, tmp_path, capsys):
+        assert main(["figures", "all", "--csv", str(tmp_path)]) == 0
+        names = {p.name for p in tmp_path.iterdir()}
+        assert {
+            "table1_systems.csv",
+            "fig2_single_gpu.csv",
+            "fig3_multi_gpu.csv",
+            "table2_related_work.csv",
+            "unique_ratios.csv",
+            "sycl_speedups.csv",
+        } <= names
+        header = (tmp_path / "fig3_multi_gpu.csv").read_text().splitlines()[0]
+        assert "speedup" in header
+
+    def test_all_requires_csv(self):
+        with pytest.raises(SystemExit):
+            main(["figures", "all"])
+
+
+class TestQc:
+    def test_qc_summary_and_output(self, tmp_path, capsys):
+        ds = generate_random_dataset(10, 300, maf_range=(0.2, 0.4), seed=3)
+        src = tmp_path / "in.npz"
+        out = tmp_path / "out.npz"
+        save_dataset(src, ds)
+        assert main(["qc", str(src), "--output", str(out)]) == 0
+        assert "QC: kept" in capsys.readouterr().out
+        assert out.exists()
+
+    def test_qc_custom_thresholds(self, tmp_path, capsys):
+        ds = generate_random_dataset(8, 200, maf_range=(0.1, 0.4), seed=4)
+        src = tmp_path / "in.npz"
+        save_dataset(src, ds)
+        assert main(["qc", str(src), "--min-maf", "0.01"]) == 0
+
+
+class TestCheckpointFlag:
+    def test_search_with_checkpoint(self, tmp_path, capsys):
+        ckpt = tmp_path / "run.ckpt"
+        args = ["search", "--snps", "10", "--samples", "80",
+                "--block-size", "5", "--checkpoint", str(ckpt)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert ckpt.exists()
+        assert main(args) == 0  # resume: nothing left to do, same answer
+        second = capsys.readouterr().out
+        assert first.splitlines()[1] == second.splitlines()[1]  # same #1 line
+
+
+class TestGenerate:
+    def test_random(self, tmp_path, capsys):
+        path = tmp_path / "out.npz"
+        assert main(["generate", str(path), "--snps", "8", "--samples", "64"]) == 0
+        assert path.exists()
+
+    def test_planted(self, tmp_path, capsys):
+        path = tmp_path / "out.npz"
+        assert main(
+            ["generate", str(path), "--snps", "8", "--samples", "64",
+             "--plant-interaction"]
+        ) == 0
+        assert "planted" in capsys.readouterr().out
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,60 @@
+"""Unit tests for the block-combine routine."""
+
+import numpy as np
+import pytest
+
+from repro.bitops import BitMatrix, combine_blocks
+from repro.datasets import encode_dataset, generate_random_dataset
+
+
+@pytest.fixture(scope="module")
+def encoded():
+    return encode_dataset(generate_random_dataset(16, 130, seed=4), block_size=4)
+
+
+class TestCombine:
+    def test_output_shape(self, encoded):
+        out = combine_blocks(encoded.controls, 0, 4, 4)
+        assert out.n_rows == 4 * 16
+        assert out.n_bits == encoded.n_controls
+
+    def test_row_layout(self, encoded):
+        b = 4
+        out = combine_blocks(encoded.controls, 0, 8, b)
+        dense = encoded.controls.to_bool()
+        grid = out.to_bool().reshape(b, 2, b, 2, -1)
+        for i, gi, j, gj in [(0, 0, 0, 0), (2, 1, 3, 0), (3, 1, 3, 1)]:
+            expected = dense[2 * (0 + i) + gi] & dense[2 * (8 + j) + gj]
+            np.testing.assert_array_equal(grid[i, gi, j, gj], expected)
+
+    def test_same_block_self_combination(self, encoded):
+        # Combining a block with itself: diagonal rows equal the planes.
+        out = combine_blocks(encoded.cases, 4, 4, 4)
+        dense = encoded.cases.to_bool()
+        grid = out.to_bool().reshape(4, 2, 4, 2, -1)
+        for i in range(4):
+            for g in (0, 1):
+                np.testing.assert_array_equal(
+                    grid[i, g, i, g], dense[2 * (4 + i) + g]
+                )
+
+    def test_rejects_out_of_range(self, encoded):
+        with pytest.raises(IndexError, match="second_offset"):
+            combine_blocks(encoded.controls, 0, 14, 4)
+
+    def test_rejects_negative_offset(self, encoded):
+        with pytest.raises(IndexError, match="first_offset"):
+            combine_blocks(encoded.controls, -1, 0, 4)
+
+    def test_rejects_bad_block_size(self, encoded):
+        with pytest.raises(ValueError, match="block_size"):
+            combine_blocks(encoded.controls, 0, 0, 0)
+
+    def test_and_of_disjoint_planes_is_zero(self):
+        # Planes 0 and 1 of the same SNP are disjoint by construction
+        # (a sample has exactly one genotype), so the AND is empty.
+        enc = encode_dataset(generate_random_dataset(4, 100, seed=1))
+        out = combine_blocks(enc.controls, 0, 0, 4)
+        grid = out.to_bool().reshape(4, 2, 4, 2, -1)
+        for i in range(4):
+            assert grid[i, 0, i, 1].sum() == 0

@@ -1,0 +1,184 @@
+"""Unit + property tests for contingency tables and §3.3 completion."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.contingency import (
+    complete_pair,
+    complete_quad,
+    complete_single,
+    complete_tables,
+    complete_triple,
+    contingency_table,
+    contingency_tables_by_class,
+    marginalize,
+    validate_table,
+)
+from repro.datasets import generate_random_dataset
+
+genotype_matrices = st.integers(1, 4).flatmap(
+    lambda k: hnp.arrays(
+        np.int8, (k, 60), elements=st.integers(0, 2)
+    )
+)
+
+
+class TestContingencyTable:
+    def test_manual_example(self):
+        rows = np.array([[0, 1, 2, 0], [2, 1, 0, 0]], dtype=np.int8)
+        table = contingency_table(rows)
+        assert table[0, 2] == 1
+        assert table[1, 1] == 1
+        assert table[2, 0] == 1
+        assert table[0, 0] == 1
+        assert table.sum() == 4
+
+    @given(genotype_matrices)
+    def test_sums_to_samples(self, rows):
+        assert contingency_table(rows).sum() == rows.shape[1]
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            contingency_table(np.zeros(5, dtype=np.int8))
+
+    def test_by_class_partition(self):
+        ds = generate_random_dataset(6, 123, seed=0)
+        t0, t1 = contingency_tables_by_class(ds, (0, 2, 3, 5))
+        assert t0.sum() == ds.n_controls
+        assert t1.sum() == ds.n_cases
+
+
+class TestMarginalize:
+    @given(genotype_matrices)
+    def test_marginal_matches_subtable(self, rows):
+        k = rows.shape[0]
+        if k < 2:
+            return
+        table = contingency_table(rows)
+        for axis in range(k):
+            keep = [i for i in range(k) if i != axis]
+            np.testing.assert_array_equal(
+                marginalize(table, axis, k), contingency_table(rows[keep])
+            )
+
+    def test_rejects_bad_axis(self):
+        with pytest.raises(ValueError, match="axis"):
+            marginalize(np.zeros((3, 3)), 2, 2)
+
+
+class TestValidateTable:
+    def test_accepts_valid(self):
+        validate_table(np.ones((3, 3), dtype=int), 2, total=9)
+
+    def test_rejects_negative(self):
+        t = np.ones((3, 3), dtype=int)
+        t[0, 0] = -1
+        with pytest.raises(ValueError, match="negative"):
+            validate_table(t, 2)
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError, match="size 3"):
+            validate_table(np.ones((2, 3)), 2)
+
+    def test_rejects_wrong_total(self):
+        with pytest.raises(ValueError, match="do not all equal"):
+            validate_table(np.ones((3, 3), dtype=int), 2, total=5)
+
+
+def _full_and_marginals(rows: np.ndarray):
+    """Full table plus all (k-1)-order marginal tables for completion."""
+    k = rows.shape[0]
+    full = contingency_table(rows)
+    marginals = []
+    for axis in range(k):
+        keep = [i for i in range(k) if i != axis]
+        if keep:
+            marginals.append(contingency_table(rows[keep]))
+        else:
+            marginals.append(np.int64(rows.shape[1]))
+    return full, marginals
+
+
+class TestCompletion:
+    @given(genotype_matrices)
+    def test_generic_completion_reconstructs_full_table(self, rows):
+        k = rows.shape[0]
+        full, marginals = _full_and_marginals(rows)
+        corner = full[(slice(0, 2),) * k]
+        rebuilt = complete_tables(corner, marginals, order=k)
+        np.testing.assert_array_equal(rebuilt, full)
+
+    def test_single(self):
+        rows = np.array([[0, 0, 1, 2, 2, 2]], dtype=np.int8)
+        full = contingency_table(rows)
+        np.testing.assert_array_equal(complete_single(full[:2], 6), full)
+
+    def test_pair_wiring(self, rng):
+        rows = rng.integers(0, 3, (2, 80), dtype=np.int8)
+        full = contingency_table(rows)
+        out = complete_pair(
+            full[:2, :2],
+            contingency_table(rows[:1])[0:3],
+            contingency_table(rows[1:2]),
+        )
+        np.testing.assert_array_equal(out, full)
+
+    def test_triple_wiring(self, rng):
+        rows = rng.integers(0, 3, (3, 80), dtype=np.int8)
+        full = contingency_table(rows)
+        out = complete_triple(
+            full[:2, :2, :2],
+            contingency_table(rows[[0, 1]]),
+            contingency_table(rows[[0, 2]]),
+            contingency_table(rows[[1, 2]]),
+        )
+        np.testing.assert_array_equal(out, full)
+
+    def test_quad_wiring(self, rng):
+        rows = rng.integers(0, 3, (4, 80), dtype=np.int8)
+        full = contingency_table(rows)
+        out = complete_quad(
+            full[:2, :2, :2, :2],
+            contingency_table(rows[[0, 1, 2]]),
+            contingency_table(rows[[0, 1, 3]]),
+            contingency_table(rows[[0, 2, 3]]),
+            contingency_table(rows[[1, 2, 3]]),
+        )
+        np.testing.assert_array_equal(out, full)
+
+    def test_batched_completion(self, rng):
+        # Two independent triples completed in one batched call.
+        rows_a = rng.integers(0, 3, (3, 50), dtype=np.int8)
+        rows_b = rng.integers(0, 3, (3, 50), dtype=np.int8)
+        fulls = [contingency_table(r) for r in (rows_a, rows_b)]
+        corner = np.stack([f[:2, :2, :2] for f in fulls])
+        marginals = [
+            np.stack([contingency_table(r[[1, 2]]) for r in (rows_a, rows_b)]),
+            np.stack([contingency_table(r[[0, 2]]) for r in (rows_a, rows_b)]),
+            np.stack([contingency_table(r[[0, 1]]) for r in (rows_a, rows_b)]),
+        ]
+        # marginals[axis] removes that axis: [bc, ac, ab].
+        out = complete_tables(corner, marginals, order=3)
+        np.testing.assert_array_equal(out[0], fulls[0])
+        np.testing.assert_array_equal(out[1], fulls[1])
+
+    def test_rejects_bad_corner_shape(self):
+        with pytest.raises(ValueError, match="corner"):
+            complete_tables(np.zeros((3, 3)), [None, None], order=2)
+
+    def test_rejects_wrong_marginal_count(self):
+        with pytest.raises(ValueError, match="marginals"):
+            complete_tables(np.zeros((2, 2)), [np.zeros(3)], order=2)
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(ValueError, match="order"):
+            complete_tables(np.zeros((2,)), [], order=0)
+
+    def test_rejects_bad_marginal_shape(self):
+        with pytest.raises(ValueError, match="marginal for axis"):
+            complete_tables(
+                np.zeros((2, 2)), [np.zeros((4,)), np.zeros((4,))], order=2
+            )

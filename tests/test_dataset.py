@@ -1,0 +1,110 @@
+"""Unit tests for the Dataset model."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import Dataset
+
+
+def _dataset(m=5, n=10, seed=0):
+    rng = np.random.default_rng(seed)
+    return Dataset(
+        genotypes=rng.integers(0, 3, (m, n), dtype=np.int8),
+        phenotypes=rng.random(n) < 0.5,
+    )
+
+
+class TestConstruction:
+    def test_dimensions(self):
+        ds = _dataset(5, 10)
+        assert ds.n_snps == 5
+        assert ds.n_samples == 10
+        assert ds.n_cases + ds.n_controls == 10
+
+    def test_rejects_bad_genotype_values(self):
+        with pytest.raises(ValueError, match="genotype values"):
+            Dataset(
+                genotypes=np.full((2, 3), 5, dtype=np.int8),
+                phenotypes=np.zeros(3, dtype=bool),
+            )
+
+    def test_rejects_negative_genotypes(self):
+        with pytest.raises(ValueError, match="genotype values"):
+            Dataset(
+                genotypes=np.full((2, 3), -1, dtype=np.int8),
+                phenotypes=np.zeros(3, dtype=bool),
+            )
+
+    def test_rejects_mismatched_phenotypes(self):
+        with pytest.raises(ValueError, match="one entry per sample"):
+            Dataset(
+                genotypes=np.zeros((2, 3), dtype=np.int8),
+                phenotypes=np.zeros(4, dtype=bool),
+            )
+
+    def test_rejects_1d_genotypes(self):
+        with pytest.raises(ValueError, match="2-D"):
+            Dataset(
+                genotypes=np.zeros(3, dtype=np.int8),
+                phenotypes=np.zeros(3, dtype=bool),
+            )
+
+    def test_dtype_coercion(self):
+        ds = Dataset(
+            genotypes=np.ones((2, 3), dtype=np.int64),
+            phenotypes=np.array([0, 1, 0]),
+        )
+        assert ds.genotypes.dtype == np.int8
+        assert ds.phenotypes.dtype == np.bool_
+
+    def test_immutability(self):
+        ds = _dataset()
+        with pytest.raises(ValueError):
+            ds.genotypes[0, 0] = 2
+
+    def test_default_snp_names(self):
+        ds = _dataset(3, 4)
+        assert ds.snp_names == ("snp0", "snp1", "snp2")
+
+    def test_custom_snp_names_length_check(self):
+        with pytest.raises(ValueError, match="snp_names"):
+            Dataset(
+                genotypes=np.zeros((2, 3), dtype=np.int8),
+                phenotypes=np.zeros(3, dtype=bool),
+                snp_names=("a",),
+            )
+
+
+class TestViews:
+    def test_class_genotypes_partition(self):
+        ds = _dataset(4, 20, seed=3)
+        g0 = ds.class_genotypes(0)
+        g1 = ds.class_genotypes(1)
+        assert g0.shape == (4, ds.n_controls)
+        assert g1.shape == (4, ds.n_cases)
+        assert g0.shape[1] + g1.shape[1] == ds.n_samples
+
+    def test_class_genotypes_content(self):
+        ds = _dataset(4, 20, seed=3)
+        np.testing.assert_array_equal(
+            ds.class_genotypes(1), ds.genotypes[:, ds.phenotypes]
+        )
+
+    def test_class_genotypes_bad_class(self):
+        with pytest.raises(ValueError, match="phenotype_class"):
+            _dataset().class_genotypes(2)
+
+    def test_n_class_samples(self):
+        ds = _dataset(4, 20, seed=3)
+        assert ds.n_class_samples(0) == ds.n_controls
+        assert ds.n_class_samples(1) == ds.n_cases
+
+    def test_subset_snps(self):
+        ds = _dataset(6, 10, seed=1)
+        sub = ds.subset_snps([4, 1])
+        assert sub.n_snps == 2
+        np.testing.assert_array_equal(sub.genotypes[0], ds.genotypes[4])
+        assert sub.snp_names == ("snp4", "snp1")
+
+    def test_repr(self):
+        assert "M=5" in repr(_dataset(5, 10))

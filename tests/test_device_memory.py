@@ -1,0 +1,82 @@
+"""Tests for the device-memory estimator and its search integration."""
+
+import pytest
+
+from repro.core.search import Epi4TensorSearch, SearchConfig
+from repro.datasets import generate_random_dataset
+from repro.device.memory import (
+    DeviceMemoryError,
+    check_fits,
+    estimate_search_memory,
+)
+from repro.device.specs import A100_PCIE, TITAN_RTX
+
+
+class TestEstimate:
+    def test_components_positive(self):
+        est = estimate_search_memory(2048, 131072, 131072, 32)
+        assert all(v > 0 for v in est.components.values())
+        assert est.total_bytes == sum(est.components.values())
+
+    def test_paper_dataset_sizing(self):
+        # §3.6: 16384 SNPs x 1M samples is ~3.8 GB of dataset planes.
+        est = estimate_search_memory(16384, 500000, 500000, 32)
+        assert est.components["dataset planes"] == pytest.approx(
+            3.8e9, rel=0.15
+        )
+
+    def test_paper_largest_search_fits_a100(self):
+        # The paper runs 4096 x 524288 on 40/80 GB A100s.
+        est = estimate_search_memory(4096, 262144, 262144, 32)
+        check_fits(A100_PCIE, est)  # must not raise
+
+    def test_sweeps_scale_with_m_not_m3(self):
+        # The point of the three-phase scheme: 3-way storage is O(B^2 * M).
+        small = estimate_search_memory(256, 1000, 1000, 32)
+        large = estimate_search_memory(2048, 1000, 1000, 32)
+        ratio = (
+            large.components["3-way sweep corners"]
+            / small.components["3-way sweep corners"]
+        )
+        assert ratio == pytest.approx(2048 / 256)
+
+    def test_format_mentions_total(self):
+        est = estimate_search_memory(64, 500, 500, 8)
+        assert "total" in est.format()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            estimate_search_memory(0, 10, 10, 4)
+
+
+class TestCheckFits:
+    def test_raises_with_breakdown(self):
+        # A pathological block size blows the score buffers past 24 GB.
+        est = estimate_search_memory(4096, 2**20, 2**20, 256)
+        with pytest.raises(DeviceMemoryError, match="total"):
+            check_fits(TITAN_RTX, est)
+
+    def test_reserve_validation(self):
+        est = estimate_search_memory(64, 500, 500, 8)
+        with pytest.raises(ValueError, match="reserve_fraction"):
+            check_fits(TITAN_RTX, est, reserve_fraction=1.0)
+
+
+class TestSearchIntegration:
+    def test_search_exposes_estimate(self):
+        ds = generate_random_dataset(12, 100, seed=0)
+        search = Epi4TensorSearch(ds, SearchConfig(block_size=4))
+        assert search.memory_estimate.total_bytes > 0
+
+    def test_progress_callback_invoked(self):
+        ds = generate_random_dataset(12, 100, seed=0)
+        seen = []
+
+        def on_round(done, total, best):
+            seen.append((done, total, best.score))
+
+        search = Epi4TensorSearch(ds, SearchConfig(block_size=4))
+        result = search.run(progress_callback=on_round)
+        assert len(seen) == result.block_scheme.n_rounds
+        assert seen[-1][0] == result.block_scheme.n_rounds
+        assert seen[-1][2] == result.best_score

@@ -1,0 +1,107 @@
+"""Unit tests for the BOOST-style binarized encoding (§3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import encode_dataset, generate_random_dataset, pad_snps
+from repro.datasets.encoding import encode_class
+from repro.datasets.padding import padded_snp_count
+
+
+class TestEncodeClass:
+    def test_planes_match_genotypes(self, rng):
+        g = rng.integers(0, 3, (6, 90), dtype=np.int8)
+        bm = encode_class(g)
+        dense = bm.to_bool()
+        for m in range(6):
+            np.testing.assert_array_equal(dense[2 * m], g[m] == 0)
+            np.testing.assert_array_equal(dense[2 * m + 1], g[m] == 1)
+
+    def test_planes_disjoint_and_incomplete(self, rng):
+        # Exactly one of (AA, Aa, aa) holds per sample; the aa plane is the
+        # complement of the two stored planes.
+        g = rng.integers(0, 3, (4, 70), dtype=np.int8)
+        dense = encode_class(g).to_bool()
+        for m in range(4):
+            both = dense[2 * m] & dense[2 * m + 1]
+            assert both.sum() == 0
+            aa = ~(dense[2 * m] | dense[2 * m + 1])
+            np.testing.assert_array_equal(aa, g[m] == 2)
+
+
+class TestEncodeDataset:
+    def test_class_split_sizes(self):
+        ds = generate_random_dataset(8, 101, case_fraction=0.4, seed=0)
+        enc = encode_dataset(ds)
+        assert enc.n_controls == ds.n_controls
+        assert enc.n_cases == ds.n_cases
+        assert enc.n_samples == 101
+
+    def test_padding_to_block_multiple(self):
+        ds = generate_random_dataset(13, 50, seed=0)
+        enc = encode_dataset(ds, block_size=8)
+        assert enc.n_snps == 16
+        assert enc.n_real_snps == 13
+
+    def test_padded_rows_are_zero(self):
+        ds = generate_random_dataset(13, 50, seed=0)
+        enc = encode_dataset(ds, block_size=8)
+        for cls in (0, 1):
+            planes = enc.class_matrix(cls)
+            assert planes.data[2 * 13 :].sum() == 0
+
+    def test_no_padding_when_multiple(self):
+        ds = generate_random_dataset(16, 50, seed=0)
+        enc = encode_dataset(ds, block_size=8)
+        assert enc.n_snps == 16
+
+    def test_counts_survive_encoding(self):
+        ds = generate_random_dataset(5, 333, seed=9)
+        enc = encode_dataset(ds)
+        for cls in (0, 1):
+            g = ds.class_genotypes(cls)
+            pops = enc.class_matrix(cls).row_popcounts().reshape(5, 2)
+            np.testing.assert_array_equal(pops[:, 0], (g == 0).sum(axis=1))
+            np.testing.assert_array_equal(pops[:, 1], (g == 1).sum(axis=1))
+
+    def test_nbytes_formula(self):
+        # 2 bitvectors per SNP per class, words rounded up per class.
+        ds = generate_random_dataset(4, 100, case_fraction=0.5, seed=0)
+        enc = encode_dataset(ds)
+        words0 = (enc.n_controls + 63) // 64
+        words1 = (enc.n_cases + 63) // 64
+        assert enc.nbytes == 8 * (2 * 4) * (words0 + words1)
+
+    def test_class_matrix_bad_class(self):
+        enc = encode_dataset(generate_random_dataset(4, 20, seed=0))
+        with pytest.raises(ValueError, match="phenotype_class"):
+            enc.class_matrix(3)
+
+    def test_rejects_bad_block_size(self):
+        with pytest.raises(ValueError, match="block_size"):
+            encode_dataset(generate_random_dataset(4, 20, seed=0), block_size=0)
+
+
+class TestPadding:
+    @pytest.mark.parametrize(
+        "m,b,expected", [(13, 8, 16), (16, 8, 16), (1, 4, 4), (9, 3, 9)]
+    )
+    def test_padded_count(self, m, b, expected):
+        assert padded_snp_count(m, b) == expected
+
+    def test_pad_snps_appends_constant_snps(self):
+        ds = generate_random_dataset(5, 30, seed=0)
+        padded = pad_snps(ds, 4)
+        assert padded.n_snps == 8
+        np.testing.assert_array_equal(padded.genotypes[5:], 2)
+        assert padded.snp_names[5].startswith("__pad")
+
+    def test_pad_snps_noop(self):
+        ds = generate_random_dataset(8, 30, seed=0)
+        assert pad_snps(ds, 4) is ds
+
+    def test_padded_count_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            padded_snp_count(0, 4)
+        with pytest.raises(ValueError):
+            padded_snp_count(4, 0)

@@ -1,0 +1,165 @@
+"""Tests for the extension models: broadcast, multi-node, energy, filter."""
+
+import numpy as np
+import pytest
+
+from repro.core.filter import marginal_chi2_filter, refine_with_search
+from repro.datasets import generate_epistatic_dataset, generate_random_dataset
+from repro.device.broadcast import (
+    broadcast_host_serial,
+    broadcast_p2p_allgather,
+    broadcast_runtime_share,
+)
+from repro.device.specs import A100_SXM4
+from repro.perfmodel import predict_multi_gpu, predict_search
+from repro.perfmodel.energy import estimate_energy
+from repro.perfmodel.multinode import predict_multi_node
+from repro.perfmodel.workload import search_workload
+
+
+class TestBroadcast:
+    def test_host_serial_scales_with_gpus(self):
+        one = broadcast_host_serial(10**9, 1)
+        eight = broadcast_host_serial(10**9, 8)
+        assert eight.seconds == pytest.approx(8 * one.seconds)
+
+    def test_p2p_cheaper_at_scale(self):
+        serial = broadcast_host_serial(10**9, 8)
+        p2p = broadcast_p2p_allgather(10**9, 8)
+        assert p2p.seconds < serial.seconds
+        assert p2p.host_bytes < serial.host_bytes
+
+    def test_p2p_single_gpu_degenerates(self):
+        est = broadcast_p2p_allgather(10**9, 1)
+        assert est.p2p_bytes == 0
+
+    def test_paper_claim_broadcast_negligible(self):
+        # §3.6: at the largest evaluated workload, distribution time is
+        # irrelevant either way.
+        wl = search_workload(4096, 524288, 32)
+        pred = predict_multi_gpu(A100_SXM4, 8, 4096, 524288, 32)
+        shares = broadcast_runtime_share(wl.transfer_bytes, 8, pred.seconds)
+        assert shares["host_serial"] < 0.001
+        assert shares["p2p_allgather"] < 0.001
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            broadcast_host_serial(-1, 2)
+        with pytest.raises(ValueError):
+            broadcast_p2p_allgather(10, 0)
+        with pytest.raises(ValueError):
+            broadcast_runtime_share(10, 2, 0.0)
+
+
+class TestMultiNode:
+    def test_single_node_matches_multi_gpu_model(self):
+        node = predict_multi_node(1, 8, 4096, 524288, 32)
+        gpu = predict_multi_gpu(A100_SXM4, 8, 4096, 524288, 32)
+        assert node.tera_quads_per_second_scaled == pytest.approx(
+            gpu.tera_quads_per_second_scaled, rel=0.01
+        )
+
+    def test_scaling_across_nodes(self):
+        one = predict_multi_node(1, 8, 4096, 524288, 32)
+        four = predict_multi_node(4, 8, 4096, 524288, 32)
+        assert four.seconds < one.seconds
+        assert four.speedup_vs_single_gpu > one.speedup_vs_single_gpu
+        assert four.total_gpus == 32
+
+    def test_granularity_limit(self):
+        # nb = 4096/32 = 128 outer iterations: beyond 128 GPUs no gain.
+        at_limit = predict_multi_node(16, 8, 4096, 524288, 32)
+        beyond = predict_multi_node(32, 8, 4096, 524288, 32)
+        assert beyond.schedule.makespan == pytest.approx(
+            at_limit.schedule.makespan, rel=0.2
+        )
+        assert beyond.parallel_efficiency < at_limit.parallel_efficiency
+
+    def test_broadcast_time_grows_with_nodes(self):
+        two = predict_multi_node(2, 8, 2048, 262144, 32)
+        sixteen = predict_multi_node(16, 8, 2048, 262144, 32)
+        assert sixteen.broadcast_seconds > two.broadcast_seconds
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            predict_multi_node(0, 8, 2048, 262144, 32)
+
+
+class TestEnergy:
+    def test_power_is_tdp_times_gpus(self):
+        pred = predict_multi_gpu(A100_SXM4, 8, 4096, 524288, 32)
+        est = estimate_energy(pred)
+        assert est.watts == pytest.approx(8 * 400)
+
+    def test_joules_consistent(self):
+        pred = predict_search(A100_SXM4, 2048, 524288, 32)
+        est = estimate_energy(pred)
+        assert est.joules == pytest.approx(est.watts * pred.seconds)
+
+    def test_efficiency_improves_with_saturation(self):
+        # Larger N -> better tensor efficiency -> more quads per joule.
+        small = estimate_energy(predict_search(A100_SXM4, 2048, 32768, 32))
+        large = estimate_energy(predict_search(A100_SXM4, 2048, 524288, 32))
+        assert (
+            large.giga_quad_samples_per_joule
+            > small.giga_quad_samples_per_joule
+        )
+
+    def test_validation(self):
+        pred = predict_search(A100_SXM4, 1024, 32768, 32)
+        with pytest.raises(ValueError, match="draw_fraction"):
+            estimate_energy(pred, draw_fraction=0.0)
+
+
+class TestFilterRefine:
+    def test_filter_keeps_requested_count(self):
+        ds = generate_random_dataset(20, 200, seed=1)
+        kept = marginal_chi2_filter(ds, keep=8)
+        assert kept.shape == (8,)
+        assert (np.diff(kept) > 0).all()
+
+    def test_filter_validation(self):
+        ds = generate_random_dataset(10, 50, seed=0)
+        with pytest.raises(ValueError, match="keep"):
+            marginal_chi2_filter(ds, keep=3)
+        with pytest.raises(ValueError, match="keep"):
+            marginal_chi2_filter(ds, keep=11)
+
+    def test_refine_maps_back_to_original_indices(self):
+        ds, truth = generate_epistatic_dataset(
+            18, 2500, interacting_snps=(2, 7, 11, 15), effect_size=2.8, seed=5
+        )
+        kept = marginal_chi2_filter(ds, keep=10)
+        if not set(truth) <= set(kept.tolist()):
+            pytest.skip("filter missed the signal for this seed")
+        result = refine_with_search(ds, kept, block_size=5)
+        assert result.best_quad == truth
+
+    def test_refine_validation(self):
+        ds = generate_random_dataset(10, 60, seed=0)
+        with pytest.raises(ValueError, match=">= 4"):
+            refine_with_search(ds, np.array([1, 2, 3]))
+        with pytest.raises(ValueError, match="out of range"):
+            refine_with_search(ds, np.array([1, 2, 3, 99]))
+
+    def test_refine_equals_subset_search(self):
+        from repro.core.search import search_best_quad
+
+        ds = generate_random_dataset(14, 150, seed=6)
+        candidates = np.array([0, 2, 3, 5, 8, 9, 12, 13])
+        refined = refine_with_search(ds, candidates, block_size=4)
+        direct = search_best_quad(ds.subset_snps(candidates), block_size=4)
+        mapped = tuple(int(candidates[i]) for i in direct.best_quad)
+        assert refined.best_quad == mapped
+
+    def test_refine_remaps_top_solutions_too(self):
+        from repro.core.search import Epi4TensorSearch, SearchConfig
+
+        ds = generate_random_dataset(14, 150, seed=6)
+        candidates = np.array([1, 3, 4, 6, 7, 10, 11, 13])
+        refined = refine_with_search(ds, candidates, block_size=4)
+        # All returned indices must come from the candidate set (i.e. be
+        # original-dataset indices, not subset positions).
+        for sol in refined.top_solutions:
+            assert set(sol.quad) <= set(candidates.tolist())
+        assert refined.top_solutions[0] == refined.solution

@@ -1,0 +1,50 @@
+"""Fuzzing for the second-/third-order searches against the dense oracle."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.contingency import contingency_tables_by_class
+from repro.core.korder import search_second_order, search_third_order
+from repro.datasets import Dataset
+from repro.device.specs import A100_PCIE, TITAN_RTX
+from repro.scoring import make_score
+from repro.scoring.base import normalized_for_minimization
+
+configs = st.fixed_dictionaries(
+    {
+        "n_snps": st.integers(4, 12),
+        "n_samples": st.integers(24, 100),
+        "block_size": st.integers(2, 5),
+        "spec": st.sampled_from([TITAN_RTX, A100_PCIE]),
+        "order": st.sampled_from([2, 3]),
+        "seed": st.integers(0, 2**31),
+    }
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(configs)
+def test_korder_always_score_optimal(cfg):
+    rng = np.random.default_rng(cfg["seed"])
+    genotypes = rng.integers(0, 3, (cfg["n_snps"], cfg["n_samples"]), dtype=np.int8)
+    phenotypes = np.zeros(cfg["n_samples"], dtype=bool)
+    phenotypes[: cfg["n_samples"] // 2] = True
+    rng.shuffle(phenotypes)
+    ds = Dataset(genotypes=genotypes, phenotypes=phenotypes)
+
+    searcher = search_second_order if cfg["order"] == 2 else search_third_order
+    result = searcher(ds, block_size=cfg["block_size"], spec=cfg["spec"])
+
+    fn = normalized_for_minimization(make_score("k2"))
+    best = min(
+        float(fn(*contingency_tables_by_class(ds, t), order=cfg["order"]))
+        for t in combinations(range(ds.n_snps), cfg["order"])
+    )
+    t0, t1 = contingency_tables_by_class(ds, result.best_tuple)
+    direct = float(fn(t0, t1, order=cfg["order"]))
+    assert direct == pytest.approx(best, rel=1e-10, abs=1e-10)
+    assert result.best_score == pytest.approx(direct, rel=1e-10, abs=1e-10)

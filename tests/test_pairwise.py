@@ -1,0 +1,77 @@
+"""Unit tests for the indivPop / pairwPop precomputation."""
+
+import numpy as np
+import pytest
+
+from repro.contingency import contingency_table
+from repro.core.pairwise import indiv_pop, pairw_pop
+from repro.datasets import encode_dataset, generate_random_dataset
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ds = generate_random_dataset(9, 157, case_fraction=0.4, seed=8)
+    enc = encode_dataset(ds, block_size=4)  # pads 9 -> 12
+    return ds, enc
+
+
+class TestIndivPop:
+    def test_matches_brute_force(self, setup):
+        ds, enc = setup
+        singles = indiv_pop(enc)
+        for cls in (0, 1):
+            g = ds.class_genotypes(cls)
+            for m in range(ds.n_snps):
+                expected = np.bincount(g[m], minlength=3)
+                np.testing.assert_array_equal(singles[cls, m], expected)
+
+    def test_padded_snp_counts(self, setup):
+        ds, enc = setup
+        singles = indiv_pop(enc)
+        # Padded SNPs have zero AA/Aa planes -> everything lands in aa.
+        for cls in (0, 1):
+            n_cls = enc.class_sizes()[cls]
+            for m in range(ds.n_snps, enc.n_snps):
+                np.testing.assert_array_equal(singles[cls, m], [0, 0, n_cls])
+
+    def test_rows_sum_to_class_size(self, setup):
+        _, enc = setup
+        singles = indiv_pop(enc)
+        for cls in (0, 1):
+            assert (singles[cls].sum(axis=1) == enc.class_sizes()[cls]).all()
+
+
+class TestPairwPop:
+    def test_matches_brute_force(self, setup):
+        ds, enc = setup
+        low = pairw_pop(enc)
+        for cls in (0, 1):
+            g = ds.class_genotypes(cls)
+            for a in (0, 3, 7):
+                for b in (1, 5, 8):
+                    expected = contingency_table(g[[a, b]])
+                    np.testing.assert_array_equal(low.pairs[cls, a, b], expected)
+
+    def test_symmetry(self, setup):
+        _, enc = setup
+        low = pairw_pop(enc)
+        np.testing.assert_array_equal(
+            low.pairs[0, 2, 5], low.pairs[0, 5, 2].T
+        )
+
+    def test_tables_sum_to_class_size(self, setup):
+        _, enc = setup
+        low = pairw_pop(enc)
+        for cls in (0, 1):
+            sums = low.pairs[cls].sum(axis=(2, 3))
+            assert (sums == enc.class_sizes()[cls]).all()
+
+    def test_accepts_precomputed_singles(self, setup):
+        _, enc = setup
+        singles = indiv_pop(enc)
+        low = pairw_pop(enc, singles=singles)
+        assert low.singles is singles
+
+    def test_nbytes_positive(self, setup):
+        _, enc = setup
+        assert pairw_pop(enc).nbytes > 0

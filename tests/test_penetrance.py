@@ -1,0 +1,108 @@
+"""Tests for the penetrance-model library."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import PenetranceModel, generate_from_penetrance
+from repro.core.search import search_best_quad
+
+
+class TestModels:
+    def test_threshold_table(self):
+        m = PenetranceModel.threshold(baseline=0.2, effect_size=3.0)
+        assert m.table[0, 1, 1, 1] == pytest.approx(0.2)
+        assert m.table[1, 1, 1, 1] == pytest.approx(0.6)
+        assert m.table[2, 2, 2, 2] == pytest.approx(0.6)
+
+    def test_threshold_caps_at_095(self):
+        m = PenetranceModel.threshold(baseline=0.5, effect_size=10.0)
+        assert m.table.max() == pytest.approx(0.95)
+
+    def test_parity_table(self):
+        m = PenetranceModel.parity(baseline=0.2, effect_size=2.0)
+        assert m.table[0, 0, 0, 0] == pytest.approx(0.4)  # 0 carriers: even
+        assert m.table[1, 0, 0, 0] == pytest.approx(0.2)  # 1 carrier: odd
+        assert m.table[1, 2, 0, 0] == pytest.approx(0.4)  # 2 carriers: even
+
+    def test_multiplicative_monotone(self):
+        m = PenetranceModel.multiplicative(baseline=0.05, per_allele_factor=1.3)
+        assert m.table[0, 0, 0, 0] < m.table[1, 0, 0, 0] < m.table[2, 2, 2, 2]
+
+    def test_custom_validation(self):
+        with pytest.raises(ValueError, match="3,3,3,3"):
+            PenetranceModel(table=np.zeros((3, 3)))
+        with pytest.raises(ValueError, match="\\[0, 1\\]"):
+            PenetranceModel(table=np.full((3, 3, 3, 3), 1.5))
+
+    def test_table_immutable(self):
+        m = PenetranceModel.parity()
+        with pytest.raises(ValueError):
+            m.table[0, 0, 0, 0] = 0.0
+
+    def test_effect_validation(self):
+        with pytest.raises(ValueError, match="baseline"):
+            PenetranceModel.threshold(baseline=0.0)
+        with pytest.raises(ValueError, match="effect_size"):
+            PenetranceModel.parity(effect_size=-1)
+        with pytest.raises(ValueError, match="per_allele_factor"):
+            PenetranceModel.multiplicative(per_allele_factor=0)
+
+
+class TestMarginalEffect:
+    def test_parity_has_zero_marginal_under_uniform(self):
+        # Under a uniform genotype distribution, exactly half the other-loci
+        # configurations have even parity, so each locus' marginal vanishes…
+        m = PenetranceModel.parity(baseline=0.2, effect_size=2.0)
+        for locus in range(4):
+            assert m.marginal_effect(locus) < 0.03
+
+    def test_threshold_has_marginal(self):
+        m = PenetranceModel.threshold(baseline=0.2, effect_size=2.0)
+        assert m.marginal_effect(0) > 0.05
+
+    def test_multiplicative_has_large_marginal(self):
+        mult = PenetranceModel.multiplicative()
+        parity = PenetranceModel.parity()
+        assert mult.marginal_effect(0) > parity.marginal_effect(0)
+
+    def test_marginal_effect_validation(self):
+        m = PenetranceModel.parity()
+        with pytest.raises(ValueError, match="locus"):
+            m.marginal_effect(4)
+        with pytest.raises(ValueError, match="genotype_probs"):
+            m.marginal_effect(0, genotype_probs=np.zeros((2, 3)))
+
+    def test_expected_prevalence_bounds(self):
+        m = PenetranceModel.threshold(baseline=0.2, effect_size=2.0)
+        prev = m.expected_prevalence()
+        assert 0.2 <= prev <= 0.4
+
+
+class TestGenerator:
+    def test_detectable_interaction(self):
+        model = PenetranceModel.parity(baseline=0.25, effect_size=2.6)
+        ds, quad = generate_from_penetrance(
+            14, 3000, model, interacting_snps=(1, 5, 8, 12), seed=11
+        )
+        assert quad == (1, 5, 8, 12)
+        result = search_best_quad(ds, block_size=7)
+        assert result.best_quad == quad
+
+    def test_case_rate_tracks_prevalence(self):
+        model = PenetranceModel.threshold(baseline=0.3, effect_size=2.0)
+        ds, _ = generate_from_penetrance(8, 8000, model, seed=4)
+        maf_probs = None  # generator MAF in (0.2, 0.4); just check coarse band
+        prev = ds.n_cases / ds.n_samples
+        assert 0.25 <= prev <= 0.55
+
+    def test_classes_nonempty(self):
+        tiny = PenetranceModel(
+            table=np.full((3, 3, 3, 3), 1e-6), name="rare"
+        )
+        ds, _ = generate_from_penetrance(6, 50, tiny, seed=0)
+        assert ds.n_cases >= 1 and ds.n_controls >= 1
+
+    def test_validation(self):
+        model = PenetranceModel.parity()
+        with pytest.raises(ValueError, match="distinct"):
+            generate_from_penetrance(8, 50, model, interacting_snps=(0, 0, 1, 2))

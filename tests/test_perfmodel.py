@@ -1,0 +1,247 @@
+"""Tests for the workload accounting and the calibrated performance model.
+
+The calibration tests pin the model to the paper's disclosed anchors — if a
+refactor drifts the projections, these fail.
+"""
+
+import pytest
+
+from repro.device.specs import A100_PCIE, A100_SXM4, TITAN_RTX
+from repro.perfmodel import (
+    outer_iteration_tensor_ops,
+    predict_multi_gpu,
+    predict_search,
+    search_workload,
+    tensor_efficiency,
+)
+from repro.perfmodel.figures import (
+    epi4tensor_vs_sycl_speedups,
+    fig2_grid,
+    fig3_grid,
+    table1_rows,
+    table2_rows,
+    unique_ratio_rows,
+)
+
+
+class TestWorkload:
+    def test_outer_iterations_sum_to_total(self):
+        for m, b in [(16, 4), (32, 8), (24, 4)]:
+            nb = m // b
+            wl = search_workload(m, 100, b)
+            total = sum(
+                outer_iteration_tensor_ops(w, nb, b, 100) for w in range(nb)
+            )
+            assert total == wl.tensor_ops
+
+    def test_outer_costs_decrease(self):
+        costs = [outer_iteration_tensor_ops(w, 8, 4, 100) for w in range(8)]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_tensor4_formula(self):
+        from math import comb
+
+        wl = search_workload(16, 100, 4)
+        assert wl.tensor4_ops == comb(7, 4) * 2 * 64 * 64 * 100
+
+    def test_scaled_quads(self):
+        wl = search_workload(16, 100, 4, n_real_snps=13)
+        from math import comb
+
+        assert wl.scaled_quads == comb(13, 4) * 100
+
+    def test_ops_per_scaled_quad_approaches_32_over_ratio(self):
+        # For large M the 4-way GEMMs dominate: ops/quad-sample -> 32/ratio.
+        wl = search_workload(2048, 262144, 32)
+        ratio = wl.unique_quads / wl.quads_processed
+        assert wl.tensor4_ops / wl.scaled_quads == pytest.approx(
+            32 / ratio, rel=1e-9
+        )
+        assert wl.tensor_ops / wl.scaled_quads == pytest.approx(
+            32 / ratio, rel=0.05
+        )
+
+    def test_outer_bounds(self):
+        with pytest.raises(ValueError):
+            outer_iteration_tensor_ops(4, 4, 4, 100)
+
+
+class TestEfficiency:
+    def test_monotone_in_samples(self):
+        effs = [
+            tensor_efficiency(A100_PCIE, n, 32)
+            for n in (32768, 65536, 131072, 262144, 524288)
+        ]
+        assert effs == sorted(effs)
+
+    def test_turing_cliff(self):
+        below = tensor_efficiency(TITAN_RTX, 262144, 32)
+        at = tensor_efficiency(TITAN_RTX, 524288, 32)
+        assert at < below
+
+    def test_chunking_removes_cliff(self):
+        chunked = tensor_efficiency(TITAN_RTX, 524288, 32, sample_chunked=True)
+        plain = tensor_efficiency(TITAN_RTX, 524288, 32)
+        assert chunked > plain
+
+    def test_streams_help_small_n_most(self):
+        gain_small = tensor_efficiency(
+            A100_PCIE, 32768, 32, n_streams=4
+        ) / tensor_efficiency(A100_PCIE, 32768, 32)
+        gain_large = tensor_efficiency(
+            A100_PCIE, 524288, 32, n_streams=4
+        ) / tensor_efficiency(A100_PCIE, 524288, 32)
+        assert gain_small > gain_large
+
+    def test_bounded(self):
+        for spec in (TITAN_RTX, A100_PCIE, A100_SXM4):
+            eff = tensor_efficiency(spec, 262144, 32)
+            assert 0 < eff < 1.0
+
+
+class TestCalibrationAnchors:
+    """Model projections vs the paper's disclosed measurements."""
+
+    @pytest.mark.parametrize(
+        "spec,m,n,paper_perf,tol",
+        [
+            (TITAN_RTX, 2048, 262144, 27.8, 0.03),
+            (A100_PCIE, 2048, 262144, 78.78, 0.03),
+            (A100_PCIE, 2048, 524288, 90.9, 0.03),
+            (A100_SXM4, 2048, 524288, 110.5, 0.03),
+            (TITAN_RTX, 256, 81920, 14.42, 0.08),
+        ],
+    )
+    def test_single_gpu_performance(self, spec, m, n, paper_perf, tol):
+        pred = predict_search(spec, m, n, 32)
+        assert pred.tera_quads_per_second_scaled == pytest.approx(
+            paper_perf, rel=tol
+        )
+
+    @pytest.mark.parametrize(
+        "spec,m,n,paper_tops",
+        [(TITAN_RTX, 2048, 262144, 1010), (A100_PCIE, 2048, 524288, 3305)],
+    )
+    def test_average_tops(self, spec, m, n, paper_tops):
+        pred = predict_search(spec, m, n, 32)
+        assert pred.avg_tops == pytest.approx(paper_tops, rel=0.03)
+
+    @pytest.mark.parametrize(
+        "g,paper_speedup", [(2, 1.98), (4, 3.79), (8, 7.11)]
+    )
+    def test_multi_gpu_scaling(self, g, paper_speedup):
+        pred = predict_multi_gpu(A100_SXM4, g, 4096, 524288, 32)
+        assert pred.speedup_vs_single == pytest.approx(paper_speedup, rel=0.02)
+
+    def test_hgx_headline(self):
+        pred = predict_multi_gpu(A100_SXM4, 8, 4096, 524288, 32)
+        assert pred.tera_quads_per_second_scaled == pytest.approx(835.4, rel=0.02)
+        assert pred.avg_tops == pytest.approx(28947, rel=0.02)
+        # "~72% of the theoretical maximum".
+        assert pred.efficiency == pytest.approx(0.72, abs=0.02)
+        # "around 2 hours of search time".
+        assert pred.seconds / 3600 == pytest.approx(2.0, abs=0.15)
+
+    def test_single_sxm4_runtime(self):
+        # "close to 14.5 hours" on one GPU.
+        pred = predict_search(A100_SXM4, 4096, 524288, 32)
+        assert pred.seconds / 3600 == pytest.approx(14.5, abs=0.5)
+
+    def test_a100_vs_titan_best_ratio(self):
+        # §4.5: the A100 best-vs-best improvement is 3.24x.
+        titan = predict_search(TITAN_RTX, 2048, 262144, 32)
+        a100 = predict_search(A100_PCIE, 2048, 524288, 32)
+        ratio = (
+            a100.tera_quads_per_second_scaled
+            / titan.tera_quads_per_second_scaled
+        )
+        assert ratio == pytest.approx(3.24, rel=0.03)
+
+    def test_samples_partition_loses(self):
+        # §4.6: "dividing the samples between GPUs is expected to negatively
+        # impact the performance" for the evaluated datasets.
+        outer = predict_multi_gpu(A100_SXM4, 8, 4096, 524288, 32)
+        samples = predict_multi_gpu(
+            A100_SXM4, 8, 4096, 524288, 32, partition="samples"
+        )
+        assert (
+            samples.tera_quads_per_second_scaled
+            < 0.5 * outer.tera_quads_per_second_scaled
+        )
+
+    def test_samples_partition_gap_narrows_with_more_samples(self):
+        # "...unless processing datasets with significantly more samples".
+        def gap(n):
+            outer = predict_multi_gpu(A100_SXM4, 8, 2048, n, 32)
+            samples = predict_multi_gpu(
+                A100_SXM4, 8, 2048, n, 32, partition="samples"
+            )
+            return (
+                samples.tera_quads_per_second_scaled
+                / outer.tera_quads_per_second_scaled
+            )
+
+        assert gap(8 * 524288) > gap(524288)
+
+    def test_partition_validation(self):
+        with pytest.raises(ValueError, match="partition"):
+            predict_multi_gpu(A100_SXM4, 8, 2048, 262144, 32, partition="rows")
+
+    def test_sycl_speedups(self):
+        # §5: 6.4x / 12.4x / 41.1x / 372.1x vs [15].
+        s = epi4tensor_vs_sycl_speedups()
+        assert s["same_dataset_same_gpu"] == pytest.approx(6.4, rel=0.10)
+        assert s["titan_best"] == pytest.approx(12.4, rel=0.03)
+        assert s["a100_best"] == pytest.approx(41.1, rel=0.03)
+        assert s["hgx_best"] == pytest.approx(372.1, rel=0.03)
+
+
+class TestFigureGenerators:
+    def test_fig2_grid_shape(self):
+        rows = fig2_grid()
+        # S1: 1 engine, S2: 2 engines; 4 M x 5 N x 2 B x 2 streams.
+        assert len(rows) == (1 + 2) * 4 * 5 * 2 * 2
+
+    def test_fig2_a100_beats_titan(self):
+        rows = {
+            (r.system, r.engine): r.tera_quads_per_second
+            for r in fig2_grid(block_sizes=(32,), stream_counts=(1,))
+            if r.n_snps == 2048 and r.n_samples == 262144
+        }
+        assert rows[("S2", "and")] > rows[("S1", "xor")]
+
+    def test_fig2_and_close_to_xor(self):
+        rows = [
+            r
+            for r in fig2_grid(block_sizes=(32,), stream_counts=(1,))
+            if r.system == "S2" and r.n_snps == 2048 and r.n_samples == 524288
+        ]
+        by_engine = {r.engine: r.tera_quads_per_second for r in rows}
+        assert abs(by_engine["and"] - by_engine["xor"]) / by_engine["and"] < 0.02
+
+    def test_fig3_grid_shape(self):
+        assert len(fig3_grid()) == 3 * 2 * 4
+
+    def test_fig3_scaling_improves_with_snps(self):
+        rows = fig3_grid()
+        by = {(r.n_snps, r.n_gpus): r.speedup for r in rows if r.n_samples == 524288}
+        assert by[(4096, 8)] > by[(1024, 8)]
+
+    def test_table2_ordering(self):
+        rows = table2_rows()
+        perf = {r.approach + r.hardware: r.tera_quads_per_second for r in rows}
+        ours = [r for r in rows if r.approach.startswith("Epi4Tensor")]
+        others = [r for r in rows if not r.approach.startswith("Epi4Tensor")]
+        assert min(r.tera_quads_per_second for r in ours) > max(
+            r.tera_quads_per_second for r in others
+        )
+
+    def test_unique_ratio_rows_match_paper(self):
+        rows = {(r.n_snps, r.block_size): r.percent_unique for r in unique_ratio_rows()}
+        assert round(rows[(256, 32)], 1) == 50.5
+        assert round(rows[(2048, 64)], 1) == 83.2
+
+    def test_table1_rows(self):
+        rows = {r["system"]: r for r in table1_rows()}
+        assert round(rows["S1"]["peak_binary_tops"]) == 2088
+        assert rows["S3"]["gpu"] == "8x A100 SXM4"

@@ -1,0 +1,104 @@
+"""Tests for the PLINK .ped/.map reader/writer."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_random_dataset, load_plink, save_plink
+
+
+class TestRoundTrip:
+    def test_round_trip(self, tmp_path):
+        # MAF well below 0.5 so the minor allele is unambiguous.
+        ds = generate_random_dataset(6, 120, maf_range=(0.1, 0.3), seed=3)
+        prefix = tmp_path / "study"
+        save_plink(prefix, ds)
+        loaded = load_plink(prefix)
+        np.testing.assert_array_equal(loaded.genotypes, ds.genotypes)
+        np.testing.assert_array_equal(loaded.phenotypes, ds.phenotypes)
+        assert loaded.snp_names == ds.snp_names
+
+    def test_monomorphic_snp(self, tmp_path):
+        ds = generate_random_dataset(3, 20, seed=1)
+        g = np.asarray(ds.genotypes).copy()
+        g[1] = 0  # constant SNP
+        from repro.datasets import Dataset
+
+        ds = Dataset(genotypes=g, phenotypes=ds.phenotypes.copy())
+        prefix = tmp_path / "mono"
+        save_plink(prefix, ds)
+        loaded = load_plink(prefix)
+        assert (loaded.genotypes[1] == 0).all()
+
+
+class TestMalformedInputs:
+    def _write(self, tmp_path, map_text, ped_text):
+        (tmp_path / "x.map").write_text(map_text)
+        (tmp_path / "x.ped").write_text(ped_text)
+        return tmp_path / "x"
+
+    def test_missing_phenotype_rejected(self, tmp_path):
+        prefix = self._write(
+            tmp_path, "1 rs1 0 1\n", "F I 0 0 1 0 A A\n"
+        )
+        with pytest.raises(ValueError, match="missing phenotype"):
+            load_plink(prefix)
+
+    def test_missing_genotype_dropped(self, tmp_path):
+        prefix = self._write(
+            tmp_path,
+            "1 rs1 0 1\n",
+            "F0 I0 0 0 1 1 A A\nF1 I1 0 0 1 2 0 0\nF2 I2 0 0 1 2 A B\n",
+        )
+        ds = load_plink(prefix, missing="drop")
+        assert ds.n_samples == 2
+        assert ds.n_cases == 1
+
+    def test_all_samples_missing(self, tmp_path):
+        prefix = self._write(tmp_path, "1 rs1 0 1\n", "F I 0 0 1 0 A A\n")
+        with pytest.raises(ValueError, match="no usable samples"):
+            load_plink(prefix, missing="drop")
+
+    def test_field_count_mismatch(self, tmp_path):
+        prefix = self._write(
+            tmp_path, "1 rs1 0 1\n1 rs2 0 2\n", "F I 0 0 1 1 A A\n"
+        )
+        with pytest.raises(ValueError, match="expected 10 fields"):
+            load_plink(prefix)
+
+    def test_triallelic_rejected(self, tmp_path):
+        prefix = self._write(
+            tmp_path,
+            "1 rs1 0 1\n",
+            "F0 I0 0 0 1 1 A C\nF1 I1 0 0 1 2 G G\n",
+        )
+        with pytest.raises(ValueError, match="more than two alleles"):
+            load_plink(prefix)
+
+    def test_empty_map(self, tmp_path):
+        prefix = self._write(tmp_path, "", "F I 0 0 1 1 A A\n")
+        with pytest.raises(ValueError, match="no SNPs"):
+            load_plink(prefix)
+
+    def test_bad_map_columns(self, tmp_path):
+        prefix = self._write(tmp_path, "1 rs1\n", "")
+        with pytest.raises(ValueError, match="3 or 4 columns"):
+            load_plink(prefix)
+
+    def test_bad_missing_mode(self, tmp_path):
+        with pytest.raises(ValueError, match="missing"):
+            load_plink(tmp_path / "x", missing="impute")
+
+
+class TestIntegration:
+    def test_search_on_plink_input(self, tmp_path):
+        from repro.core.search import search_best_quad
+        from repro.contingency import best_quad_brute_force
+        from repro.scoring import K2Score
+
+        ds = generate_random_dataset(10, 100, maf_range=(0.15, 0.35), seed=9)
+        prefix = tmp_path / "gwas"
+        save_plink(prefix, ds)
+        loaded = load_plink(prefix)
+        res = search_best_quad(loaded, block_size=5)
+        quad, _ = best_quad_brute_force(ds, K2Score())
+        assert res.best_quad == quad

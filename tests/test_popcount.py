@@ -1,0 +1,41 @@
+"""Unit + property tests for popcount kernels."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.bitops.popcount import _popcount_u64_lut, popcount_rows, popcount_u64
+
+u64_arrays = hnp.arrays(
+    dtype=np.uint64,
+    shape=st.tuples(st.integers(1, 8), st.integers(1, 16)),
+    elements=st.integers(0, 2**64 - 1),
+)
+
+
+@given(u64_arrays)
+def test_fast_path_matches_lut(words):
+    np.testing.assert_array_equal(popcount_u64(words), _popcount_u64_lut(words))
+
+
+@given(st.integers(0, 2**64 - 1))
+def test_matches_python_bit_count(value):
+    words = np.array([[value]], dtype=np.uint64)
+    assert popcount_u64(words)[0, 0] == value.bit_count()
+
+
+def test_known_values():
+    words = np.array([0, 1, 0xFF, 2**63, 2**64 - 1], dtype=np.uint64)
+    np.testing.assert_array_equal(popcount_u64(words), [0, 1, 8, 1, 64])
+
+
+@given(u64_arrays)
+def test_rows_sums_last_axis(words):
+    np.testing.assert_array_equal(
+        popcount_rows(words), popcount_u64(words).sum(axis=-1)
+    )
+
+
+def test_output_dtype_int64():
+    assert popcount_u64(np.array([1], dtype=np.uint64)).dtype == np.int64

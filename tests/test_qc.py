@@ -1,0 +1,107 @@
+"""Tests for the dataset QC gates."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import Dataset, generate_random_dataset
+from repro.datasets.qc import (
+    apply_qc,
+    hardy_weinberg_pvalues,
+    minor_allele_frequencies,
+)
+
+
+def _dataset_from_genotypes(g, seed=0):
+    rng = np.random.default_rng(seed)
+    return Dataset(
+        genotypes=np.asarray(g, dtype=np.int8),
+        phenotypes=rng.random(np.asarray(g).shape[1]) < 0.5,
+    )
+
+
+class TestMaf:
+    def test_known_values(self):
+        g = [[0, 0, 0, 0], [1, 1, 1, 1], [2, 2, 0, 0]]
+        maf = minor_allele_frequencies(_dataset_from_genotypes(g))
+        np.testing.assert_allclose(maf, [0.0, 0.5, 0.5])
+
+    def test_folding(self):
+        # Coded frequency 0.75 folds to 0.25.
+        g = [[2, 2, 2, 0]]
+        maf = minor_allele_frequencies(_dataset_from_genotypes(g))
+        np.testing.assert_allclose(maf, [0.25])
+
+    def test_range(self):
+        ds = generate_random_dataset(30, 500, seed=1)
+        maf = minor_allele_frequencies(ds)
+        assert (maf >= 0).all() and (maf <= 0.5).all()
+
+
+class TestHwe:
+    def test_equilibrium_sample_not_rejected(self):
+        # HWE-generated genotypes should almost never fail at alpha 1e-6.
+        ds = generate_random_dataset(50, 2000, seed=2)
+        pvals = hardy_weinberg_pvalues(ds)
+        assert (pvals > 1e-6).all()
+
+    def test_gross_violation_detected(self):
+        # All-heterozygous genotypes are maximally out of HWE.
+        rng = np.random.default_rng(0)
+        g = np.ones((1, 2000), dtype=np.int8)
+        ds = Dataset(genotypes=g, phenotypes=rng.random(2000) < 0.5)
+        pvals = hardy_weinberg_pvalues(ds)
+        assert pvals[0] < 1e-10
+
+    def test_monomorphic_gets_p_one(self):
+        ds = _dataset_from_genotypes([[0, 0, 0, 0]])
+        assert hardy_weinberg_pvalues(ds)[0] == 1.0
+
+    def test_controls_only_flag(self):
+        ds = generate_random_dataset(10, 400, seed=3)
+        a = hardy_weinberg_pvalues(ds, controls_only=True)
+        b = hardy_weinberg_pvalues(ds, controls_only=False)
+        assert a.shape == b.shape == (10,)
+        assert not np.array_equal(a, b)
+
+
+class TestApplyQc:
+    def test_drops_each_category(self):
+        rng = np.random.default_rng(4)
+        base = generate_random_dataset(6, 2000, maf_range=(0.2, 0.4), seed=4)
+        g = np.asarray(base.genotypes).copy()
+        g[0] = 0  # monomorphic
+        g[1] = (rng.random(2000) < 0.01).astype(np.int8)  # MAF ~0.005
+        g[2] = 1  # all-het: HWE violation
+        ds = Dataset(genotypes=g, phenotypes=base.phenotypes.copy())
+        filtered, report = apply_qc(ds, min_maf=0.05, hwe_alpha=1e-6)
+        assert 0 in report.dropped_monomorphic
+        assert 1 in report.dropped_maf
+        assert 2 in report.dropped_hwe
+        assert filtered.n_snps == report.kept.size
+        assert set(report.kept.tolist()) == {3, 4, 5}
+
+    def test_clean_dataset_passes(self):
+        ds = generate_random_dataset(20, 1500, maf_range=(0.2, 0.4), seed=5)
+        filtered, report = apply_qc(ds)
+        assert filtered.n_snps == 20
+        assert "kept 20" in report.summary()
+
+    def test_everything_dropped_raises(self):
+        ds = _dataset_from_genotypes([[0, 0, 0, 0], [2, 2, 2, 2]])
+        with pytest.raises(ValueError, match="dropped every SNP"):
+            apply_qc(ds)
+
+    def test_threshold_validation(self):
+        ds = generate_random_dataset(5, 100, seed=6)
+        with pytest.raises(ValueError, match="min_maf"):
+            apply_qc(ds, min_maf=0.7)
+        with pytest.raises(ValueError, match="hwe_alpha"):
+            apply_qc(ds, hwe_alpha=0.0)
+
+    def test_qc_then_search_pipeline(self):
+        from repro.core.search import search_best_quad
+
+        ds = generate_random_dataset(14, 600, maf_range=(0.15, 0.4), seed=7)
+        filtered, _ = apply_qc(ds, min_maf=0.05)
+        result = search_best_quad(filtered, block_size=4)
+        assert len(result.best_quad) == 4

@@ -1,0 +1,60 @@
+"""Unit tests for the score reduction."""
+
+import numpy as np
+
+from repro.core.reduction import reduce_round, reduce_solutions
+from repro.core.solution import Solution
+
+
+class TestReduceRound:
+    def test_picks_minimum(self):
+        scores = np.full((2, 2, 2, 2), np.inf)
+        scores[1, 0, 1, 0] = 3.5
+        scores[0, 1, 1, 1] = 2.5
+        best = reduce_round(scores, (0, 4, 8, 12), Solution.worst())
+        assert best.quad == (0, 5, 9, 13)
+        assert best.score == 2.5
+
+    def test_keeps_existing_better(self):
+        scores = np.full((2, 2, 2, 2), np.inf)
+        scores[0, 0, 0, 0] = 5.0
+        incumbent = Solution.from_quad((9, 10, 11, 12), 1.0)
+        assert reduce_round(scores, (0, 4, 8, 12), incumbent) is incumbent
+
+    def test_all_masked_round(self):
+        scores = np.full((2, 2, 2, 2), np.inf)
+        incumbent = Solution.worst()
+        assert reduce_round(scores, (0, 4, 8, 12), incumbent) is incumbent
+
+    def test_tie_break_lexicographic(self):
+        scores = np.full((2, 2, 2, 2), np.inf)
+        scores[0, 0, 0, 1] = 1.0
+        scores[1, 1, 1, 1] = 1.0
+        best = reduce_round(scores, (0, 4, 8, 12), Solution.worst())
+        assert best.quad == (0, 4, 8, 13)
+
+    def test_offsets_applied(self):
+        scores = np.full((3, 3, 3, 3), np.inf)
+        scores[2, 1, 0, 2] = 0.0
+        best = reduce_round(scores, (3, 6, 9, 12), Solution.worst())
+        assert best.quad == (5, 7, 9, 14)
+
+
+class TestReduceSolutions:
+    def test_empty(self):
+        assert reduce_solutions([]) == Solution.worst()
+
+    def test_minimum_wins(self):
+        sols = [
+            Solution.from_quad((0, 1, 2, 3), 2.0),
+            Solution.from_quad((4, 5, 6, 7), 1.0),
+            Solution.from_quad((8, 9, 10, 11), 3.0),
+        ]
+        assert reduce_solutions(sols).quad == (4, 5, 6, 7)
+
+    def test_tie_break(self):
+        sols = [
+            Solution.from_quad((4, 5, 6, 7), 1.0),
+            Solution.from_quad((0, 1, 2, 3), 1.0),
+        ]
+        assert reduce_solutions(sols).quad == (0, 1, 2, 3)

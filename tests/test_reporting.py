@@ -1,0 +1,53 @@
+"""Tests for the text report generator."""
+
+from repro.core.search import Epi4TensorSearch, SearchConfig
+from repro.datasets import generate_random_dataset
+from repro.reporting import format_search_report
+
+
+def _result(top_k=3, n_gpus=1):
+    ds = generate_random_dataset(12, 150, seed=1)
+    res = Epi4TensorSearch(
+        ds, SearchConfig(block_size=4, top_k=top_k), n_gpus=n_gpus
+    ).run()
+    return ds, res
+
+
+class TestReport:
+    def test_contains_all_sections(self):
+        ds, res = _result()
+        report = format_search_report(res, ds)
+        for needle in (
+            "ranked solutions",
+            "execution profile",
+            "device work counters",
+            "calibrated model projection",
+            "tensor ops (raw)",
+        ):
+            assert needle in report, needle
+
+    def test_top_k_rows_present(self):
+        ds, res = _result(top_k=4)
+        report = format_search_report(res, ds)
+        for rank in range(1, 5):
+            assert f"#{rank}" in report
+
+    def test_snp_names_resolved(self):
+        ds, res = _result()
+        report = format_search_report(res, ds)
+        assert "snp" in report
+
+    def test_works_without_dataset(self):
+        _, res = _result()
+        report = format_search_report(res)
+        assert "ranked solutions" in report
+
+    def test_model_projection_optional(self):
+        ds, res = _result()
+        report = format_search_report(res, ds, include_model_projection=False)
+        assert "calibrated model projection" not in report
+
+    def test_multi_device_counters(self):
+        ds, res = _result(n_gpus=3)
+        report = format_search_report(res, ds)
+        assert "3x A100 PCIe" in report

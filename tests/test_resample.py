@@ -1,0 +1,70 @@
+"""Tests for subsampling and bootstrap stability."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_epistatic_dataset, generate_random_dataset
+from repro.datasets.resample import bootstrap_best_quad, subsample
+
+
+class TestSubsample:
+    def test_size_and_snps_preserved(self):
+        ds = generate_random_dataset(10, 300, seed=1)
+        sub = subsample(ds, 100, seed=0)
+        assert sub.n_samples == 100
+        assert sub.n_snps == 10
+        assert sub.snp_names == ds.snp_names
+
+    def test_stratification_preserves_balance(self):
+        ds = generate_random_dataset(6, 1000, case_fraction=0.3, seed=2)
+        sub = subsample(ds, 200, seed=0)
+        assert sub.n_cases == pytest.approx(60, abs=2)
+
+    def test_unstratified_mode(self):
+        ds = generate_random_dataset(6, 400, seed=3)
+        sub = subsample(ds, 50, stratified=False, seed=0)
+        assert sub.n_samples == 50
+
+    def test_columns_come_from_source(self):
+        ds = generate_random_dataset(4, 50, seed=4)
+        sub = subsample(ds, 20, seed=0)
+        # Every subsampled column must exist in the source.
+        source_cols = {tuple(col) for col in ds.genotypes.T.tolist()}
+        for col in sub.genotypes.T.tolist():
+            assert tuple(col) in source_cols
+
+    def test_deterministic_with_seed(self):
+        ds = generate_random_dataset(5, 120, seed=5)
+        a = subsample(ds, 40, seed=9)
+        b = subsample(ds, 40, seed=9)
+        np.testing.assert_array_equal(a.genotypes, b.genotypes)
+
+    def test_validation(self):
+        ds = generate_random_dataset(5, 50, seed=6)
+        with pytest.raises(ValueError, match="n_samples"):
+            subsample(ds, 51)
+        with pytest.raises(ValueError, match="n_samples"):
+            subsample(ds, 1)
+
+
+class TestBootstrap:
+    def test_strong_signal_is_stable(self):
+        ds, truth = generate_epistatic_dataset(
+            10, 2500, interacting_snps=(1, 4, 6, 9), effect_size=3.0, seed=7
+        )
+        result = bootstrap_best_quad(
+            ds, n_bootstrap=8, block_size=5, seed=0
+        )
+        assert result.observed_quad == truth
+        assert result.stability >= 0.75
+
+    def test_noise_is_unstable(self):
+        ds = generate_random_dataset(10, 200, seed=8)
+        result = bootstrap_best_quad(ds, n_bootstrap=8, block_size=5, seed=0)
+        assert result.stability <= 0.5
+        assert sum(result.winner_counts.values()) == 8
+
+    def test_validation(self):
+        ds = generate_random_dataset(6, 60, seed=9)
+        with pytest.raises(ValueError, match="n_bootstrap"):
+            bootstrap_best_quad(ds, n_bootstrap=0)

@@ -1,0 +1,236 @@
+"""Integration tests: the full Epi4Tensor search against the brute-force oracle."""
+
+import numpy as np
+import pytest
+
+from repro.contingency import best_quad_brute_force
+from repro.core.search import Epi4TensorSearch, SearchConfig, search_best_quad
+from repro.datasets import encode_dataset, generate_random_dataset
+from repro.device.specs import A100_PCIE, TITAN_RTX
+from repro.perfmodel.workload import search_workload
+from repro.scoring import K2Score, make_score
+from repro.scoring.base import normalized_for_minimization
+
+
+def _oracle(ds, score_name="k2"):
+    fn = normalized_for_minimization(make_score(score_name))
+    return best_quad_brute_force(ds, lambda t0, t1: fn(t0, t1, order=4))
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("m,b", [(12, 4), (13, 4), (16, 8), (9, 3)])
+    def test_matches_brute_force(self, seed, m, b):
+        ds = generate_random_dataset(m, 160, seed=seed)
+        res = search_best_quad(ds, block_size=b)
+        quad, score = _oracle(ds)
+        assert res.best_quad == quad
+        np.testing.assert_allclose(res.best_score, score, rtol=1e-12)
+
+    def test_single_block_dataset(self):
+        # M == B: every quad comes from the one all-overlapping round.
+        ds = generate_random_dataset(6, 100, seed=5)
+        res = search_best_quad(ds, block_size=6)
+        quad, score = _oracle(ds)
+        assert res.best_quad == quad
+
+    @pytest.mark.parametrize("engine_kind", ["and_popc", "xor_popc"])
+    @pytest.mark.parametrize("mode", ["dense", "packed"])
+    def test_engine_and_mode_equivalence(self, engine_kind, mode):
+        ds = generate_random_dataset(12, 130, seed=4)
+        config = SearchConfig(block_size=4, engine_kind=engine_kind, engine_mode=mode)
+        res = Epi4TensorSearch(ds, config).run()
+        quad, _ = _oracle(ds)
+        assert res.best_quad == quad
+
+    def test_turing_spec_runs_xor(self):
+        ds = generate_random_dataset(12, 100, seed=6)
+        res = Epi4TensorSearch(
+            ds, SearchConfig(block_size=4), spec=TITAN_RTX
+        ).run()
+        assert res.engine_name == "xor_popc"
+        assert res.best_quad == _oracle(ds)[0]
+
+    @pytest.mark.parametrize("score_name", ["chi2", "gtest", "mi"])
+    def test_alternative_scores(self, score_name):
+        ds = generate_random_dataset(10, 140, seed=2)
+        res = search_best_quad(ds, block_size=4, score=score_name)
+        quad, score = _oracle(ds, score_name)
+        assert res.best_quad == quad
+        np.testing.assert_allclose(res.best_score, score, rtol=1e-9)
+
+    def test_sample_chunking_equivalence(self):
+        ds = generate_random_dataset(12, 300, seed=9)
+        base = Epi4TensorSearch(ds, SearchConfig(block_size=4)).run()
+        chunked = Epi4TensorSearch(
+            ds, SearchConfig(block_size=4, sample_chunk_bits=64)
+        ).run()
+        assert base.solution == chunked.solution
+
+    def test_unbalanced_classes(self):
+        ds = generate_random_dataset(12, 200, case_fraction=0.23, seed=10)
+        res = search_best_quad(ds, block_size=4)
+        assert res.best_quad == _oracle(ds)[0]
+
+    def test_block_size_invariance(self):
+        ds = generate_random_dataset(16, 120, seed=11)
+        results = {
+            b: search_best_quad(ds, block_size=b).solution for b in (2, 4, 8, 16)
+        }
+        assert len({s.packed for s in results.values()}) == 1
+
+
+class TestMultiGPU:
+    @pytest.mark.parametrize("n_gpus", [2, 3, 8])
+    def test_same_result_any_gpu_count(self, n_gpus):
+        ds = generate_random_dataset(20, 150, seed=12)
+        single = Epi4TensorSearch(ds, SearchConfig(block_size=4)).run()
+        multi = Epi4TensorSearch(
+            ds, SearchConfig(block_size=4), n_gpus=n_gpus
+        ).run()
+        assert single.solution == multi.solution
+
+    def test_work_conservation(self):
+        ds = generate_random_dataset(16, 100, seed=13)
+        single = Epi4TensorSearch(ds, SearchConfig(block_size=4)).run()
+        multi = Epi4TensorSearch(ds, SearchConfig(block_size=4), n_gpus=4).run()
+        assert (
+            single.counters.total_tensor_ops_raw
+            == multi.counters.total_tensor_ops_raw
+        )
+
+    def test_schedule_covers_all_outer_iterations(self):
+        ds = generate_random_dataset(24, 80, seed=14)
+        res = Epi4TensorSearch(ds, SearchConfig(block_size=4), n_gpus=3).run()
+        assigned = sorted(
+            i for gpu_iters in res.schedule.assignment for i in gpu_iters
+        )
+        assert assigned == list(range(res.block_scheme.nb))
+
+    def test_sample_partition_same_result(self):
+        # §4.6's alternative scheme: functionally identical output.
+        ds = generate_random_dataset(16, 400, seed=15)
+        outer = Epi4TensorSearch(ds, SearchConfig(block_size=4), n_gpus=4).run()
+        samples = Epi4TensorSearch(
+            ds, SearchConfig(block_size=4, partition="samples"), n_gpus=4
+        ).run()
+        assert outer.solution == samples.solution
+
+    def test_sample_partition_spreads_and_conserves_work(self):
+        ds = generate_random_dataset(16, 600, seed=16)
+        outer = Epi4TensorSearch(ds, SearchConfig(block_size=4), n_gpus=3).run()
+        samples = Epi4TensorSearch(
+            ds, SearchConfig(block_size=4, partition="samples"), n_gpus=3
+        ).run()
+        loads = [c.total_tensor_ops_raw for c in samples.per_device_counters]
+        assert all(load > 0 for load in loads)
+        assert sum(loads) == outer.counters.total_tensor_ops_raw
+
+    def test_sample_partition_single_gpu_falls_back(self):
+        ds = generate_random_dataset(12, 120, seed=17)
+        res = Epi4TensorSearch(
+            ds, SearchConfig(block_size=4, partition="samples"), n_gpus=1
+        ).run()
+        base = Epi4TensorSearch(ds, SearchConfig(block_size=4)).run()
+        assert res.solution == base.solution
+
+
+class TestTopK:
+    def test_ranked_list_matches_brute_force(self):
+        from itertools import combinations
+
+        from repro.contingency import contingency_tables_by_class
+
+        ds = generate_random_dataset(12, 130, seed=2)
+        res = Epi4TensorSearch(ds, SearchConfig(block_size=4, top_k=5)).run()
+        fn = normalized_for_minimization(make_score("k2"))
+        ranked = sorted(
+            (float(fn(*contingency_tables_by_class(ds, q), order=4)), q)
+            for q in combinations(range(12), 4)
+        )
+        assert [s.quad for s in res.top_solutions] == [q for _, q in ranked[:5]]
+
+    def test_top_k_consistent_across_devices(self):
+        ds = generate_random_dataset(16, 120, seed=3)
+        single = Epi4TensorSearch(ds, SearchConfig(block_size=4, top_k=7)).run()
+        multi = Epi4TensorSearch(
+            ds, SearchConfig(block_size=4, top_k=7), n_gpus=3
+        ).run()
+        assert single.top_solutions == multi.top_solutions
+
+    def test_top_k_larger_than_quads(self):
+        ds = generate_random_dataset(5, 60, seed=4)
+        res = Epi4TensorSearch(ds, SearchConfig(block_size=5, top_k=50)).run()
+        from math import comb
+
+        assert len(res.top_solutions) == comb(5, 4)
+
+    def test_default_top_one(self):
+        ds = generate_random_dataset(8, 60, seed=5)
+        res = search_best_quad(ds, block_size=4)
+        assert len(res.top_solutions) == 1
+        assert res.top_solutions[0] == res.solution
+
+
+class TestAccounting:
+    def test_counters_match_analytic_workload(self):
+        ds = generate_random_dataset(13, 240, seed=7)
+        res = search_best_quad(ds, block_size=4)
+        wl = search_workload(16, 240, 4, n_real_snps=13)
+        assert res.counters.tensor_ops_raw["tensor4"] == wl.tensor4_ops
+        assert res.counters.tensor_ops_raw["tensor3"] == wl.tensor3_ops
+        assert res.counters.combine_bit_ops == wl.combine_bit_ops
+        assert res.counters.score_cells == wl.score_cells
+
+    def test_padded_ops_at_least_raw(self):
+        ds = generate_random_dataset(12, 100, seed=1)
+        res = search_best_quad(ds, block_size=4)
+        assert (
+            res.counters.total_tensor_ops_padded
+            >= res.counters.total_tensor_ops_raw
+        )
+
+    def test_phase_timers_recorded(self):
+        ds = generate_random_dataset(12, 100, seed=1)
+        res = search_best_quad(ds, block_size=4)
+        for phase in ("pairwise", "combine", "tensor3", "tensor4", "score"):
+            assert res.phase_seconds[phase] > 0, phase
+
+    def test_measured_throughput_positive(self):
+        ds = generate_random_dataset(12, 100, seed=1)
+        res = search_best_quad(ds, block_size=4)
+        assert res.quads_per_second_scaled > 0
+
+
+class TestValidationErrors:
+    def test_rejects_too_few_snps(self):
+        with pytest.raises(ValueError, match="at least 4"):
+            search_best_quad(generate_random_dataset(3, 50, seed=0))
+
+    def test_rejects_and_engine_on_turing(self):
+        ds = generate_random_dataset(8, 50, seed=0)
+        with pytest.raises(ValueError, match="AND\\+POPC"):
+            Epi4TensorSearch(
+                ds,
+                SearchConfig(block_size=4, engine_kind="and_popc"),
+                spec=TITAN_RTX,
+            )
+
+    def test_rejects_unpadded_encoded_dataset(self):
+        enc = encode_dataset(generate_random_dataset(10, 50, seed=0))
+        with pytest.raises(ValueError, match="multiple"):
+            Epi4TensorSearch(enc, SearchConfig(block_size=4))
+
+    def test_accepts_preencoded_dataset(self):
+        ds = generate_random_dataset(12, 90, seed=3)
+        enc = encode_dataset(ds, block_size=4)
+        res = Epi4TensorSearch(enc, SearchConfig(block_size=4)).run()
+        assert res.best_quad == _oracle(ds)[0]
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="block_size"):
+            SearchConfig(block_size=1)
+        with pytest.raises(ValueError, match="n_streams"):
+            SearchConfig(n_streams=0)
+        with pytest.raises(ValueError, match="sample_chunk_bits"):
+            SearchConfig(sample_chunk_bits=100)

@@ -1,0 +1,72 @@
+"""Unit + property tests for the packed solution encoding (§3.5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.solution import (
+    MAX_ADDRESSABLE_COMBINATIONS,
+    MAX_SNP_INDEX,
+    Solution,
+    pack_quad,
+    pack_quads_array,
+    unpack_quad,
+)
+
+indices = st.integers(0, MAX_SNP_INDEX)
+
+
+class TestPacking:
+    @given(indices, indices, indices, indices)
+    def test_round_trip(self, w, x, y, z):
+        assert unpack_quad(pack_quad(w, x, y, z)) == (w, x, y, z)
+
+    @given(
+        st.tuples(indices, indices, indices, indices),
+        st.tuples(indices, indices, indices, indices),
+    )
+    def test_packing_is_monotone(self, a, b):
+        # Lexicographic quad order == packed integer order (the tie-break
+        # property the reduction relies on).
+        assert (a < b) == (pack_quad(*a) < pack_quad(*b))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="16-bit"):
+            pack_quad(0, 0, 0, MAX_SNP_INDEX + 1)
+        with pytest.raises(ValueError, match="16-bit"):
+            pack_quad(-1, 0, 0, 0)
+
+    def test_unpack_rejects_non_u64(self):
+        with pytest.raises(ValueError):
+            unpack_quad(1 << 64)
+
+    def test_paper_addressable_combinations(self):
+        # §3.5: "up to 768.54 peta combinations".
+        assert round(MAX_ADDRESSABLE_COMBINATIONS / 1e15, 2) == 768.54
+
+    @given(indices, indices, indices, indices)
+    def test_vectorized_matches_scalar(self, w, x, y, z):
+        packed = pack_quads_array(
+            np.array([w]), np.array([x]), np.array([y]), np.array([z])
+        )
+        assert int(packed[0]) == pack_quad(w, x, y, z)
+
+
+class TestSolution:
+    def test_ordering_by_score_then_index(self):
+        a = Solution.from_quad((0, 1, 2, 3), 1.0)
+        b = Solution.from_quad((0, 1, 2, 4), 1.0)
+        c = Solution.from_quad((5, 6, 7, 8), 0.5)
+        assert min(a, b, c) == c
+        assert min(a, b) == a  # tie -> smaller packed index
+
+    def test_worst_is_identity(self):
+        s = Solution.from_quad((1, 2, 3, 4), 100.0)
+        assert min(s, Solution.worst()) == s
+
+    def test_quad_property(self):
+        assert Solution.from_quad((9, 8, 7, 6), 0.0).quad == (9, 8, 7, 6)
+
+    def test_repr(self):
+        assert "quad=(1, 2, 3, 4)" in repr(Solution.from_quad((1, 2, 3, 4), 2.0))

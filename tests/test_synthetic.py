@@ -1,0 +1,98 @@
+"""Unit tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_epistatic_dataset, generate_random_dataset
+
+
+class TestRandomDataset:
+    def test_shapes(self):
+        ds = generate_random_dataset(10, 100, seed=0)
+        assert ds.n_snps == 10
+        assert ds.n_samples == 100
+
+    def test_half_cases_default(self):
+        ds = generate_random_dataset(4, 1000, seed=0)
+        assert ds.n_cases == 500
+
+    def test_case_fraction(self):
+        ds = generate_random_dataset(4, 1000, case_fraction=0.25, seed=0)
+        assert ds.n_cases == 250
+
+    def test_deterministic_with_seed(self):
+        a = generate_random_dataset(8, 64, seed=42)
+        b = generate_random_dataset(8, 64, seed=42)
+        np.testing.assert_array_equal(a.genotypes, b.genotypes)
+        np.testing.assert_array_equal(a.phenotypes, b.phenotypes)
+
+    def test_seeds_differ(self):
+        a = generate_random_dataset(8, 64, seed=1)
+        b = generate_random_dataset(8, 64, seed=2)
+        assert not np.array_equal(a.genotypes, b.genotypes)
+
+    def test_all_genotypes_present(self):
+        ds = generate_random_dataset(20, 2000, maf_range=(0.3, 0.5), seed=0)
+        assert set(np.unique(ds.genotypes)) == {0, 1, 2}
+
+    def test_hwe_frequencies_roughly_match(self):
+        # With MAF pinned at 0.5 the expected genotype mix is 1/4, 1/2, 1/4.
+        ds = generate_random_dataset(1, 20000, maf_range=(0.5, 0.5), seed=0)
+        counts = np.bincount(ds.genotypes[0], minlength=3) / ds.n_samples
+        np.testing.assert_allclose(counts, [0.25, 0.5, 0.25], atol=0.02)
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.1, 1.5])
+    def test_bad_case_fraction(self, bad):
+        with pytest.raises(ValueError, match="case_fraction"):
+            generate_random_dataset(4, 10, case_fraction=bad)
+
+    @pytest.mark.parametrize("bad", [(0.0, 0.5), (0.3, 0.2), (0.1, 0.6)])
+    def test_bad_maf_range(self, bad):
+        with pytest.raises(ValueError, match="maf_range"):
+            generate_random_dataset(4, 10, maf_range=bad)
+
+
+class TestEpistaticDataset:
+    def test_returns_sorted_quad(self):
+        ds, quad = generate_epistatic_dataset(
+            12, 300, interacting_snps=(7, 2, 9, 4), seed=0
+        )
+        assert quad == (2, 4, 7, 9)
+        assert ds.n_snps == 12
+
+    def test_both_classes_nonempty(self):
+        ds, _ = generate_epistatic_dataset(8, 100, seed=3)
+        assert ds.n_cases > 0
+        assert ds.n_controls > 0
+
+    def test_signal_raises_case_rate_for_risk_samples(self):
+        ds, quad = generate_epistatic_dataset(
+            10, 5000, effect_size=2.5, baseline_risk=0.3, seed=1
+        )
+        g = ds.genotypes
+        risk = np.ones(ds.n_samples, dtype=bool)
+        for s in quad:
+            risk &= g[s] >= 1
+        case_rate_risk = ds.phenotypes[risk].mean()
+        case_rate_rest = ds.phenotypes[~risk].mean()
+        assert case_rate_risk > case_rate_rest + 0.2
+
+    def test_rejects_duplicate_snps(self):
+        with pytest.raises(ValueError, match="distinct"):
+            generate_epistatic_dataset(8, 50, interacting_snps=(0, 0, 1, 2))
+
+    def test_rejects_out_of_range_snps(self):
+        with pytest.raises(ValueError, match="distinct"):
+            generate_epistatic_dataset(8, 50, interacting_snps=(0, 1, 2, 9))
+
+    def test_rejects_too_few_snps(self):
+        with pytest.raises(ValueError, match="at least 4"):
+            generate_epistatic_dataset(3, 50)
+
+    def test_rejects_bad_effect_size(self):
+        with pytest.raises(ValueError, match="effect_size"):
+            generate_epistatic_dataset(8, 50, effect_size=0.0)
+
+    def test_rejects_bad_baseline(self):
+        with pytest.raises(ValueError, match="baseline_risk"):
+            generate_epistatic_dataset(8, 50, baseline_risk=1.0)

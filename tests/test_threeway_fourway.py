@@ -1,0 +1,102 @@
+"""Unit tests for the tensorOp_3way / tensorOp_4way kernels."""
+
+import numpy as np
+import pytest
+
+from repro.bitops import combine_blocks
+from repro.contingency import contingency_table
+from repro.core.pairwise import pairw_pop
+from repro.core.fourway import tensorop_4way
+from repro.core.threeway import complete_threeway, tensorop_3way
+from repro.datasets import encode_dataset, generate_random_dataset
+from repro.tensor import AndPopcEngine, XorPopcEngine
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ds = generate_random_dataset(16, 140, seed=21)
+    enc = encode_dataset(ds, block_size=4)
+    return ds, enc, AndPopcEngine("dense")
+
+
+class TestTensorOp3Way:
+    def test_corner_matches_brute_force(self, setup):
+        ds, enc, engine = setup
+        b = 4
+        wx = combine_blocks(enc.controls, 0, 8, b)
+        corner = tensorop_3way(engine, wx, enc.controls, 8, 16, b)
+        assert corner.shape == (b, b, 8, 2, 2, 2)
+        g = ds.class_genotypes(0)
+        for (i, j, t) in [(0, 0, 0), (1, 3, 5), (3, 2, 7)]:
+            full = contingency_table(g[[0 + i, 8 + j, 8 + t]])
+            np.testing.assert_array_equal(corner[i, j, t], full[:2, :2, :2])
+
+    def test_xor_engine_same_corner(self, setup):
+        _, enc, engine = setup
+        b = 4
+        wx = combine_blocks(enc.cases, 4, 4, b)
+        c_and = tensorop_3way(engine, wx, enc.cases, 4, 12, b)
+        c_xor = tensorop_3way(XorPopcEngine("dense"), wx, enc.cases, 4, 12, b)
+        np.testing.assert_array_equal(c_and, c_xor)
+
+    def test_rejects_bad_combined_rows(self, setup):
+        _, enc, engine = setup
+        wx = combine_blocks(enc.controls, 0, 0, 4)
+        with pytest.raises(ValueError, match="4\\*B\\^2"):
+            tensorop_3way(engine, wx, enc.controls, 0, 4, 8)
+
+    def test_rejects_bad_tail_range(self, setup):
+        _, enc, engine = setup
+        wx = combine_blocks(enc.controls, 0, 0, 4)
+        with pytest.raises(ValueError, match="tail range"):
+            tensorop_3way(engine, wx, enc.controls, 12, 20, 4)
+
+    def test_complete_threeway_matches_brute_force(self, setup):
+        ds, enc, engine = setup
+        b = 4
+        low = pairw_pop(enc)
+        wx = combine_blocks(enc.controls, 0, 4, b)
+        corner = tensorop_3way(engine, wx, enc.controls, 8, 16, b)
+        full = complete_threeway(
+            corner,
+            low.pairs[0],
+            np.arange(0, 4),
+            np.arange(4, 8),
+            np.arange(8, 16),
+        )
+        g = ds.class_genotypes(0)
+        for (i, j, t) in [(0, 0, 0), (2, 1, 6), (3, 3, 7)]:
+            expected = contingency_table(g[[i, 4 + j, 8 + t]])
+            np.testing.assert_array_equal(full[i, j, t], expected)
+
+
+class TestTensorOp4Way:
+    def test_corner_matches_brute_force(self, setup):
+        ds, enc, engine = setup
+        b = 4
+        wx = combine_blocks(enc.cases, 0, 4, b)
+        yz = combine_blocks(enc.cases, 8, 12, b)
+        corner = tensorop_4way(engine, wx, yz, b)
+        assert corner.shape == (b, b, b, b, 2, 2, 2, 2)
+        g = ds.class_genotypes(1)
+        for (i, j, k, l) in [(0, 0, 0, 0), (1, 2, 3, 0), (3, 3, 3, 3)]:
+            full = contingency_table(g[[i, 4 + j, 8 + k, 12 + l]])
+            np.testing.assert_array_equal(
+                corner[i, j, k, l], full[:2, :2, :2, :2]
+            )
+
+    def test_xor_engine_same_corner(self, setup):
+        _, enc, engine = setup
+        b = 4
+        wx = combine_blocks(enc.controls, 0, 4, b)
+        yz = combine_blocks(enc.controls, 4, 8, b)
+        np.testing.assert_array_equal(
+            tensorop_4way(engine, wx, yz, b),
+            tensorop_4way(XorPopcEngine("packed"), wx, yz, b),
+        )
+
+    def test_rejects_bad_operands(self, setup):
+        _, enc, engine = setup
+        wx = combine_blocks(enc.controls, 0, 4, 4)
+        with pytest.raises(ValueError, match="combined_yz"):
+            tensorop_4way(engine, wx, enc.controls, 4)

@@ -1,0 +1,67 @@
+"""Unit tests for the CUTLASS-style tile configurations (§4.4)."""
+
+import pytest
+
+from repro.tensor import AMPERE_TILES, TURING_TILES, TileConfig
+
+
+class TestPaperConstants:
+    def test_ampere_tiles(self):
+        assert AMPERE_TILES.threadblock == (128, 256, 1024)
+        assert AMPERE_TILES.warp == (64, 64, 1024)
+        assert AMPERE_TILES.instruction == (16, 8, 256)
+
+    def test_turing_tiles(self):
+        assert TURING_TILES.threadblock == (128, 128, 1024)
+        assert TURING_TILES.warp == (64, 32, 1024)
+        assert TURING_TILES.instruction == (8, 8, 128)
+
+
+class TestValidation:
+    def test_rejects_non_divisible_warp(self):
+        with pytest.raises(ValueError, match="not divisible"):
+            TileConfig(
+                threadblock=(128, 128, 1024),
+                warp=(48, 32, 1024),
+                instruction=(8, 8, 128),
+            )
+
+    def test_rejects_non_divisible_instruction(self):
+        with pytest.raises(ValueError, match="instruction"):
+            TileConfig(
+                threadblock=(128, 128, 1024),
+                warp=(64, 32, 1024),
+                instruction=(7, 8, 128),
+            )
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError, match="3 positive ints"):
+            TileConfig(
+                threadblock=(128, 0, 1024),
+                warp=(64, 32, 1024),
+                instruction=(8, 8, 128),
+            )
+
+
+class TestQuantization:
+    def test_padded_shape_rounds_up(self):
+        m, n, k = TURING_TILES.padded_shape(100, 129, 1000)
+        assert (m, n, k) == (128, 256, 1024)
+
+    def test_padded_shape_exact_fit(self):
+        assert TURING_TILES.padded_shape(128, 128, 1024) == (128, 128, 1024)
+
+    def test_padded_ops_counts_fused_as_two(self):
+        assert TURING_TILES.padded_ops(128, 128, 1024) == 2 * 128 * 128 * 1024
+
+    def test_utilization_bounds(self):
+        u = AMPERE_TILES.utilization(100, 100, 100)
+        assert 0 < u < 1
+        assert AMPERE_TILES.utilization(128, 256, 1024) == 1.0
+
+    def test_utilization_improves_with_size(self):
+        # B=6 -> 144 rows is far off the 128x256 threadblock grid; B=32 ->
+        # 4096 rows fits exactly.
+        small = AMPERE_TILES.utilization(4 * 6 * 6, 4 * 6 * 6, 2**14)
+        large = AMPERE_TILES.utilization(4 * 32 * 32, 4 * 32 * 32, 2**18)
+        assert large > small

@@ -1,0 +1,66 @@
+"""Unit tests for repro.utils."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils import Timer, check_dtype, check_positive, check_range, check_shape
+
+
+class TestTimer:
+    def test_accumulates_across_entries(self):
+        t = Timer()
+        with t:
+            time.sleep(0.01)
+        first = t.elapsed
+        with t:
+            time.sleep(0.01)
+        assert t.elapsed > first
+
+    def test_reset(self):
+        t = Timer()
+        with t:
+            pass
+        t.reset()
+        assert t.elapsed == 0.0
+
+    def test_elapsed_positive(self):
+        t = Timer()
+        with t:
+            sum(range(1000))
+        assert t.elapsed > 0
+
+
+class TestValidation:
+    def test_check_positive_strict(self):
+        check_positive("x", 1)
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive("x", 0)
+
+    def test_check_positive_nonstrict(self):
+        check_positive("x", 0, strict=False)
+        with pytest.raises(ValueError, match="x must be >= 0"):
+            check_positive("x", -1, strict=False)
+
+    def test_check_range(self):
+        check_range("y", 0.5, 0.0, 1.0)
+        with pytest.raises(ValueError, match="y must be in"):
+            check_range("y", 1.5, 0.0, 1.0)
+
+    def test_check_shape_exact(self):
+        check_shape("a", np.zeros((2, 3)), (2, 3))
+        with pytest.raises(ValueError):
+            check_shape("a", np.zeros((2, 3)), (3, 2))
+
+    def test_check_shape_wildcard(self):
+        check_shape("a", np.zeros((2, 3)), (None, 3))
+
+    def test_check_shape_ndim(self):
+        with pytest.raises(ValueError, match="2 dimensions"):
+            check_shape("a", np.zeros(4), (2, 2))
+
+    def test_check_dtype(self):
+        check_dtype("a", np.zeros(3, dtype=np.int64), np.int64)
+        with pytest.raises(TypeError):
+            check_dtype("a", np.zeros(3, dtype=np.int32), np.int64)

@@ -1,0 +1,92 @@
+"""Tests for the instruction-level WMMA execution model."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.bitops import BitMatrix
+from repro.tensor import AMPERE_TILES, TURING_TILES, TileConfig
+from repro.tensor.and_popc import dense_dot_counts
+from repro.tensor.wmma import WmmaGemm
+
+operand_pairs = st.tuples(
+    st.integers(1, 20), st.integers(1, 20), st.integers(1, 300)
+).flatmap(
+    lambda dims: st.tuples(
+        hnp.arrays(np.bool_, (dims[0], dims[2])),
+        hnp.arrays(np.bool_, (dims[1], dims[2])),
+    )
+)
+
+
+class TestCorrectness:
+    @given(operand_pairs)
+    def test_and_matches_engine(self, ops):
+        a, b = ops
+        bma, bmb = BitMatrix.from_bool(a), BitMatrix.from_bool(b)
+        out, _ = WmmaGemm(AMPERE_TILES, "and").gemm(bma, bmb)
+        np.testing.assert_array_equal(out, dense_dot_counts(bma, bmb))
+
+    @given(operand_pairs)
+    def test_xor_matches_reference(self, ops):
+        a, b = ops
+        out, _ = WmmaGemm(TURING_TILES, "xor").gemm(
+            BitMatrix.from_bool(a), BitMatrix.from_bool(b)
+        )
+        ref = (a[:, None, :] ^ b[None, :, :]).sum(axis=-1)
+        np.testing.assert_array_equal(out, ref)
+
+    def test_tile_configs_agree(self):
+        rng = np.random.default_rng(3)
+        a = BitMatrix.from_bool(rng.random((10, 200)) < 0.5)
+        b = BitMatrix.from_bool(rng.random((9, 200)) < 0.5)
+        out_t, _ = WmmaGemm(TURING_TILES, "and").gemm(a, b)
+        out_a, _ = WmmaGemm(AMPERE_TILES, "and").gemm(a, b)
+        np.testing.assert_array_equal(out_t, out_a)
+
+
+class TestAccounting:
+    def test_fused_ops_equal_tile_quantized_model(self):
+        rng = np.random.default_rng(1)
+        a = BitMatrix.from_bool(rng.random((50, 700)) < 0.5)
+        b = BitMatrix.from_bool(rng.random((33, 700)) < 0.5)
+        for tiles in (TURING_TILES, AMPERE_TILES):
+            _, stats = WmmaGemm(tiles, "and").gemm(a, b)
+            assert stats.fused_ops == tiles.padded_ops(50, 33, 700)
+
+    def test_instruction_count_formula(self):
+        a = BitMatrix.zeros(8, 128)
+        _, stats = WmmaGemm(TURING_TILES, "and").gemm(a, a)
+        pm, pn, pk = stats.padded_shape
+        im, in_, ik = TURING_TILES.instruction
+        assert stats.instructions == (pm // im) * (pn // in_) * (pk // ik)
+        assert stats.k_fragments == pk // ik
+
+    def test_ops_per_instruction_constant(self):
+        # Every instruction covers exactly inst_m*inst_n*inst_k*2 fused ops.
+        a = BitMatrix.zeros(5, 100)
+        for tiles in (TURING_TILES, AMPERE_TILES):
+            _, stats = WmmaGemm(tiles, "and").gemm(a, a)
+            im, in_, ik = tiles.instruction
+            assert stats.fused_ops == stats.instructions * 2 * im * in_ * ik
+
+
+class TestValidation:
+    def test_rejects_bad_op(self):
+        with pytest.raises(ValueError, match="op"):
+            WmmaGemm(TURING_TILES, "nand")
+
+    def test_rejects_unaligned_instruction_k(self):
+        tiles = TileConfig(
+            threadblock=(128, 128, 96), warp=(64, 32, 96), instruction=(8, 8, 96)
+        )
+        with pytest.raises(ValueError, match="word-aligned"):
+            WmmaGemm(tiles, "and")
+
+    def test_rejects_width_mismatch(self):
+        with pytest.raises(ValueError, match="widths differ"):
+            WmmaGemm(TURING_TILES, "and").gemm(
+                BitMatrix.zeros(2, 64), BitMatrix.zeros(2, 128)
+            )

@@ -18,7 +18,22 @@ output row axis to ``(B, 2, B, 2)`` gives indices ``(i, gi, j, gj)``.
 
 from __future__ import annotations
 
-from repro.bitops.bitmatrix import BitMatrix
+from repro.bitops.bitmatrix import BitMatrix, words_for_bits
+
+
+def combined_nbytes(block_size: int, n_bits: int) -> int:
+    """Bytes of one combined operand: ``4*B^2`` packed-u64 rows of ``n_bits``.
+
+    This is the device-resident size of a single :func:`combine_blocks`
+    output for one class; the round-operand cache and the §3.3 memory model
+    both size combined entries with it, so cache accounting cannot drift
+    from the actual payload format.
+    """
+    if block_size <= 0:
+        raise ValueError(f"block_size must be > 0, got {block_size}")
+    if n_bits <= 0:
+        raise ValueError(f"n_bits must be > 0, got {n_bits}")
+    return 8 * (4 * block_size * block_size) * words_for_bits(n_bits)
 
 
 def combine_blocks(

@@ -55,6 +55,16 @@ def _add_search(sub: argparse._SubParsersAction) -> None:
         help="re-verify every round's winner through an independent "
         "bitwise path (aborts on any disagreement)",
     )
+    p.add_argument(
+        "--cache-mb", type=float, default=None, metavar="MB",
+        help="round-operand cache budget in MB (0 disables, 'inf' = "
+        "unbounded; charged against device memory before the search runs)",
+    )
+    p.add_argument(
+        "--host-threads", type=int, default=None, metavar="T",
+        help="host worker threads driving the devices (default: one per "
+        "GPU, capped at the host CPU count)",
+    )
 
 
 def _add_predict(sub: argparse._SubParsersAction) -> None:
@@ -156,6 +166,8 @@ def _cmd_search(args: argparse.Namespace) -> int:
             engine_kind=args.engine,
             top_k=args.top_k,
             selfcheck=args.selfcheck,
+            cache_mb=args.cache_mb,
+            host_threads=args.host_threads,
         )
         result = Epi4TensorSearch(
             dataset, config, spec=spec, n_gpus=args.n_gpus
@@ -171,6 +183,12 @@ def _cmd_search(args: argparse.Namespace) -> int:
               f"{result.block_scheme.quads_processed} processed quads")
         print(f"wall time : {result.wall_seconds:.2f}s "
               f"({result.quads_per_second_scaled:.3e} quad-samples/s)")
+        if result.cache_stats is not None:
+            cs = result.cache_stats
+            print(f"cache     : {100 * cs.hit_rate:.1f}% hit rate "
+                  f"({cs.hits} hits / {cs.misses} misses, "
+                  f"{cs.evictions} evictions, "
+                  f"peak {cs.peak_bytes / 1e6:.1f} MB)")
         best_tuple = result.best_quad
         if args.report:
             from repro.reporting import format_search_report

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from dataclasses import dataclass, field
 
 from repro.core.reduction import TopKReducer
@@ -25,6 +26,10 @@ from repro.core.solution import Solution
 class SearchCheckpoint:
     """Mutable resume state for one search.
 
+    Thread-safe: :meth:`record` and :meth:`save` serialize on an internal
+    lock so concurrent device worker threads can commit finished outer
+    iterations without tearing the completed-set/candidate snapshot.
+
     Attributes:
         fingerprint: dataset + configuration identity string.
         completed: outer iterations already fully processed.
@@ -34,6 +39,9 @@ class SearchCheckpoint:
     fingerprint: str
     completed: set[int] = field(default_factory=set)
     solutions: list[Solution] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
 
@@ -68,15 +76,16 @@ class SearchCheckpoint:
     def save(self, path: str | os.PathLike) -> None:
         """Atomically write the checkpoint (write-then-rename)."""
         path = os.fspath(path)
-        payload = {
-            "fingerprint": self.fingerprint,
-            "completed": sorted(self.completed),
-            "solutions": [[s.score, s.packed] for s in self.solutions],
-        }
-        tmp = path + ".tmp"
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(payload, fh)
-        os.replace(tmp, path)
+        with self._lock:
+            payload = {
+                "fingerprint": self.fingerprint,
+                "completed": sorted(self.completed),
+                "solutions": [[s.score, s.packed] for s in self.solutions],
+            }
+            tmp = path + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, path)
 
     # ------------------------------------------------------------------ #
 
@@ -88,8 +97,10 @@ class SearchCheckpoint:
 
     def record(self, wi: int, reducer: TopKReducer) -> None:
         """Mark one outer iteration finished and snapshot the candidates."""
-        self.completed.add(int(wi))
-        self.solutions = reducer.result()
+        snapshot = reducer.result()  # thread-safe on the reducer's lock
+        with self._lock:
+            self.completed.add(int(wi))
+            self.solutions = snapshot
 
 
 def search_fingerprint(

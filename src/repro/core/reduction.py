@@ -9,6 +9,8 @@ search).
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.core.solution import Solution, pack_quad
@@ -62,12 +64,20 @@ class TopKReducer:
     single optimum; this reducer extends the paper's min-reduction to the
     ``k`` best quads.  Each distinct quad is scored exactly once across the
     search (the validity mask guarantees it), so no dedup is needed.
+
+    Thread-safe: all mutators and accessors serialize on an internal lock,
+    so device worker threads can :meth:`merge` their local reductions into
+    a shared global reducer concurrently.  The result is order-independent
+    — "keep the k smallest" over a totally ordered, deduplicated candidate
+    set is associative and commutative — which is what keeps threaded runs
+    bit-identical to sequential ones.
     """
 
     def __init__(self, k: int) -> None:
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         self.k = k
+        self._lock = threading.RLock()
         self._solutions: list[Solution] = []
 
     def add_round(
@@ -79,6 +89,7 @@ class TopKReducer:
         # argpartition gives the k smallest in arbitrary order; masked
         # positions are +inf and fall out below.
         candidate_pos = np.argpartition(flat, take - 1)[:take]
+        candidates: list[Solution] = []
         for pos in candidate_pos:
             score = float(flat[pos])
             if not np.isfinite(score):
@@ -90,18 +101,28 @@ class TopKReducer:
                 offsets[2] + int(yi),
                 offsets[3] + int(zi),
             )
-            self._solutions.append(Solution(score=score, packed=pack_quad(*quad)))
-        if len(self._solutions) > 4 * self.k:
-            self._truncate()
+            candidates.append(Solution(score=score, packed=pack_quad(*quad)))
+        with self._lock:
+            self._solutions.extend(candidates)
+            if len(self._solutions) > 4 * self.k:
+                self._truncate()
 
     def merge(self, other: "TopKReducer") -> None:
-        """Fold another reducer's candidates in (host-side, multi-device)."""
-        self._solutions.extend(other._solutions)
-        self._truncate()
+        """Fold another reducer's candidates in (host-side, multi-device).
+
+        Only ``other``'s top-k can survive the fold, so its truncated
+        :meth:`result` is merged — which also keeps lock acquisition
+        one-reducer-at-a-time (no lock-ordering deadlocks).
+        """
+        incoming = other.result() if other is not self else []
+        with self._lock:
+            self._solutions.extend(incoming)
+            self._truncate()
 
     def _truncate(self) -> None:
         # Dedup by quad so merging overlapping candidate sets (e.g. a
         # checkpoint resume re-scoring an iteration) stays idempotent.
+        # Callers hold self._lock (RLock: safe from public methods here).
         self._solutions.sort()
         seen: set[int] = set()
         unique = []
@@ -113,11 +134,13 @@ class TopKReducer:
 
     def result(self) -> list[Solution]:
         """The final ranked list (best first), length <= k."""
-        self._truncate()
-        return list(self._solutions)
+        with self._lock:
+            self._truncate()
+            return list(self._solutions)
 
     @property
     def best(self) -> Solution:
         """Current best (identity element if empty)."""
-        self._truncate()
-        return self._solutions[0] if self._solutions else Solution.worst()
+        with self._lock:
+            self._truncate()
+            return self._solutions[0] if self._solutions else Solution.worst()

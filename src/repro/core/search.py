@@ -10,7 +10,25 @@ simulated tensor-core substrate:
    combine/sweep ``W x Y`` and ``X x Y``; per round ``(Wi, Xi, Yi, Zi)``:
    combine ``Y x Z``, run the 4-way tensor GEMM, complete + score + reduce;
 4. multi-GPU: outer (``Wi``) iterations are dynamically scheduled over the
-   cluster (§3.6); each device reduces locally, the host reduces at the end.
+   cluster (§3.6) — one host worker thread per device pulls the next
+   unprocessed iteration from a shared queue, the Python-level realization
+   of the paper's one-thread-per-GPU OpenMP ``schedule(dynamic)``.  Each
+   device reduces locally, the host reduces at the end.
+
+Two hot-path optimizations ride on top of the seed algorithm, both exactly
+result-preserving:
+
+- a **round-operand cache** (:mod:`repro.core.operand_cache`): the loop
+  nest re-requests the same ``(class, off_a, off_b)`` combine outputs and
+  third-order sweeps many times (``wy`` recurs across ``Xi``, ``xy``
+  across ``Wi``, ``yz`` across every outer pair); with the cache enabled
+  the loop-invariant work is hoisted — computed on first use, served from
+  a byte-bounded LRU afterwards.  Cache hits skip kernel-launch
+  accounting, so :class:`KernelCounters` always reflect executed work.
+- a **thread-parallel multi-device executor**: with
+  ``host_threads > 1`` the per-GPU loops actually run concurrently
+  (NumPy's BLAS and bit-ops release the GIL, so ``dense``-mode rounds
+  overlap for a real wall-clock win on multicore hosts).
 
 The tensor GEMMs run for real (exact integer results); device time is
 *accounted*, not emulated — see :mod:`repro.device` and
@@ -19,7 +37,12 @@ The tensor GEMMs run for real (exact integer results); device time is
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+import os
+import threading
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
 from typing import Iterable
 
 import numpy as np
@@ -31,6 +54,7 @@ from repro.core.apply_score import (
     apply_score,
 )
 from repro.core.blocks import BlockScheme
+from repro.core.operand_cache import CacheStats, OperandCache
 from repro.core.pairwise import LowOrderTables, pairw_pop
 from repro.core.reduction import TopKReducer, reduce_solutions
 from repro.core.solution import MAX_SNP_INDEX, Solution
@@ -77,6 +101,16 @@ class SearchConfig:
             rounds over its own sample range and the partial contingency
             corners are summed before scoring — functionally identical,
             but each GPU's GEMMs shrink along K, which is why it loses.
+        cache_mb: round-operand cache budget in megabytes.  ``None`` or
+            ``0`` disables caching (the seed behaviour); ``float("inf")``
+            is unbounded (charged to the memory model at the full working
+            set).  Results are bit-identical either way — the cache only
+            changes which launches execute.
+        host_threads: host worker threads driving the devices.  ``None``
+            picks ``min(n_gpus, cpu_count)``; ``1`` forces the sequential
+            seed path; values above the device count are capped (the
+            model is one thread per GPU, §3.6).  Ignored by the
+            ``"samples"`` partition, whose devices cooperate per round.
     """
 
     block_size: int = 16
@@ -89,6 +123,8 @@ class SearchConfig:
     top_k: int = 1
     partition: str = "outer"
     selfcheck: bool = False
+    cache_mb: float | None = None
+    host_threads: int | None = None
 
     def __post_init__(self) -> None:
         if self.block_size < 2:
@@ -108,6 +144,25 @@ class SearchConfig:
             raise ValueError(
                 f"partition must be 'outer' or 'samples', got {self.partition!r}"
             )
+        if self.cache_mb is not None and (
+            math.isnan(self.cache_mb) or self.cache_mb < 0
+        ):
+            raise ValueError(
+                f"cache_mb must be >= 0 (or inf/None), got {self.cache_mb}"
+            )
+        if self.host_threads is not None and self.host_threads < 1:
+            raise ValueError(
+                f"host_threads must be >= 1, got {self.host_threads}"
+            )
+
+    @property
+    def cache_budget_bytes(self) -> float:
+        """Configured cache budget in bytes (0 when disabled, may be inf)."""
+        if self.cache_mb is None or self.cache_mb <= 0:
+            return 0
+        if math.isinf(self.cache_mb):
+            return math.inf
+        return self.cache_mb * 1e6
 
 
 @dataclass
@@ -118,13 +173,22 @@ class SearchResult:
         solution: best quad + score (lower is better after normalization).
         top_solutions: the ``config.top_k`` best quads, ranked (best first).
         block_scheme: resolved block layout (incl. useful-work ratio).
-        counters: merged kernel counters over all devices.
+        counters: merged kernel counters over all devices (cache hit/miss/
+            eviction totals included).
         per_device_counters: one :class:`KernelCounters` per device.
-        schedule: the multi-GPU outer-loop schedule (also set for 1 GPU).
+        schedule: the modelled multi-GPU outer-loop schedule (also set for
+            1 GPU).  Under the thread-parallel executor the *actual*
+            device assignment is dynamic; see ``executed_assignment``.
+        executed_assignment: outer iterations actually run per device, in
+            completion-commit order (equals ``schedule.assignment`` for
+            the sequential replay path).
         phase_seconds: wall time by phase (``combine``, ``tensor3``,
-            ``tensor4``, ``score``, ``pairwise``, ``encode``).
+            ``tensor4``, ``score``, ``pairwise``, ``encode``).  With
+            ``host_threads > 1`` these are busy seconds summed over
+            workers and may exceed ``wall_seconds``.
         wall_seconds: end-to-end wall time of :meth:`Epi4TensorSearch.run`.
         n_samples: ``N`` used for the scaled-quads metric.
+        cache_stats: round-operand cache snapshot (``None`` = cache off).
         spec_name / engine_name / n_devices: provenance.
     """
 
@@ -140,6 +204,8 @@ class SearchResult:
     spec_name: str
     engine_name: str
     n_devices: int
+    cache_stats: CacheStats | None = None
+    executed_assignment: list[list[int]] = field(default_factory=list)
 
     @property
     def best_quad(self) -> tuple[int, int, int, int]:
@@ -152,9 +218,13 @@ class SearchResult:
     @property
     def quads_per_second_scaled(self) -> float:
         """Measured unique quads x samples per wall second (the paper's
-        headline metric, computed on the *simulator's* wall clock)."""
+        headline metric, computed on the *simulator's* wall clock).
+
+        Returns ``0.0`` for degenerate zero-duration runs — ``inf`` would
+        poison downstream benchmark JSON aggregation.
+        """
         if self.wall_seconds <= 0:
-            return float("inf")
+            return 0.0
         return self.block_scheme.unique_quads * self.n_samples / self.wall_seconds
 
 
@@ -210,7 +280,8 @@ class Epi4TensorSearch:
                 f"{spec.name} does not support AND+POPC; use engine_kind='xor_popc'"
             )
         # §3.3's design constraint, enforced up front: the configured search
-        # must fit the modelled device's memory.
+        # must fit the modelled device's memory — the round-operand cache
+        # budget is a first-class component of that footprint.
         from repro.device.memory import check_fits, estimate_search_memory
 
         self.memory_estimate = estimate_search_memory(
@@ -219,6 +290,7 @@ class Epi4TensorSearch:
             encoded.n_cases,
             self.config.block_size,
             max_chunk_cells=self.config.max_chunk_cells,
+            cache_budget_bytes=self.config.cache_budget_bytes,
         )
         check_fits(spec, self.memory_estimate)
         self.cluster = VirtualCluster(
@@ -239,10 +311,22 @@ class Epi4TensorSearch:
         self._phase["encode"].elapsed = encode_timer.elapsed
         self._low: LowOrderTables | None = None
         self._progress_callback = None
+        self._progress_lock = threading.Lock()
         self._rounds_done = 0
+        self._best_seen = Solution.worst()
         self._global_reducer = TopKReducer(self.config.top_k)
+        self._cache: OperandCache | None = None
 
     # ------------------------------------------------------------------ #
+
+    def host_worker_count(self) -> int:
+        """Resolved host worker threads: ``host_threads`` capped at the
+        device count; ``None`` auto-sizes to ``min(n_gpus, cpu_count)``."""
+        n_gpus = self.cluster.n_gpus
+        requested = self.config.host_threads
+        if requested is None:
+            requested = min(n_gpus, os.cpu_count() or 1)
+        return max(1, min(requested, n_gpus))
 
     def run(self, progress_callback=None, checkpoint_path=None) -> SearchResult:
         """Execute the full search and return the globally best quad.
@@ -250,7 +334,10 @@ class Epi4TensorSearch:
         Args:
             progress_callback: optional ``fn(completed_rounds, total_rounds,
                 best_so_far)`` invoked after every evaluation round —
-                multi-hour searches can report status or feed a UI.
+                multi-hour searches can report status or feed a UI.  Under
+                the thread-parallel executor the callback is serialized
+                (called under a lock) and ``best_so_far`` is the global
+                minimum over everything scored so far.
             checkpoint_path: optional path; resume state is loaded from it
                 (if present and matching this configuration) and re-saved
                 after every completed outer iteration.  A resumed run skips
@@ -261,6 +348,7 @@ class Epi4TensorSearch:
 
         self._progress_callback = progress_callback
         self._rounds_done = 0
+        self._best_seen = Solution.worst()
         checkpoint: SearchCheckpoint | None = None
         if checkpoint_path is not None:
             checkpoint = SearchCheckpoint.load(
@@ -283,34 +371,52 @@ class Epi4TensorSearch:
         with total_timer:
             schedule = self._make_schedule()
             self._prepare_devices()
+            self._cache = OperandCache.create(self.config.cache_mb)
             reducer = TopKReducer(self.config.top_k)
             self._global_reducer = reducer
             done: set[int] = set()
             if checkpoint is not None:
                 checkpoint.seed_reducer(reducer)
                 done = set(checkpoint.completed)
+                self._best_seen = reducer.best
+            executed: list[list[int]] = [[] for _ in self.cluster.gpus]
+            commit_lock = threading.Lock()
 
             def run_iteration(executor, wi: int) -> None:
-                reducer.merge(self._run_rounds(executor, [wi]))
-                if checkpoint is not None:
-                    checkpoint.record(wi, reducer)
-                    checkpoint.save(checkpoint_path)
+                local = self._run_rounds(executor, [wi])
+                with commit_lock:
+                    reducer.merge(local)
+                    executed[executor.device_id].append(wi)
+                    if checkpoint is not None:
+                        checkpoint.record(wi, reducer)
+                        checkpoint.save(checkpoint_path)
 
             if self.config.partition == "samples" and self.cluster.n_gpus > 1:
                 # §4.6 alternative scheme: every device runs every round
                 # over its own sample range; one pass, merged corners.
-                executor = _SamplePartitionExecutor(self, self.cluster.gpus)
+                # Devices cooperate within a round, so the host drives
+                # them from a single thread.
+                executor = _SamplePartitionExecutor(
+                    self, self.cluster.gpus, self._cache
+                )
                 for wi in range(self.scheme.nb):
                     if wi not in done:
                         run_iteration(executor, wi)
             else:
-                for gpu, outer_iters in zip(
-                    self.cluster.gpus, schedule.assignment
-                ):
-                    executor = _SingleDeviceExecutor(self, gpu)
-                    for wi in outer_iters:
-                        if wi not in done:
-                            run_iteration(executor, wi)
+                n_workers = self.host_worker_count()
+                if n_workers <= 1:
+                    # Sequential replay of the modelled dynamic schedule
+                    # (the seed path — also the deterministic per-device
+                    # accounting baseline).
+                    for gpu, outer_iters in zip(
+                        self.cluster.gpus, schedule.assignment
+                    ):
+                        executor = _SingleDeviceExecutor(self, gpu, self._cache)
+                        for wi in outer_iters:
+                            if wi not in done:
+                                run_iteration(executor, wi)
+                else:
+                    self._run_parallel(n_workers, done, run_iteration)
             top = reducer.result()
             solution = top[0] if top else reduce_solutions([])
 
@@ -324,9 +430,11 @@ class Epi4TensorSearch:
             counters=merged,
             per_device_counters=[gpu.counters for gpu in self.cluster.gpus],
             schedule=schedule,
+            executed_assignment=executed,
             phase_seconds={name: t.elapsed for name, t in self._phase.items()},
             wall_seconds=total_timer.elapsed,
             n_samples=self.encoded.n_samples,
+            cache_stats=self._cache.stats if self._cache is not None else None,
             spec_name=self.spec.name,
             engine_name=self.cluster.gpus[0].engine.name,
             n_devices=self.cluster.n_gpus,
@@ -334,6 +442,33 @@ class Epi4TensorSearch:
 
     # ------------------------------------------------------------------ #
     # Phases
+
+    def _run_parallel(self, n_workers: int, done: set[int], run_iteration) -> None:
+        """One worker thread per device, pulling outer iterations from a
+        shared queue — the host-side realization of OpenMP
+        ``schedule(dynamic)`` over the ``Wi`` loop (§3.6)."""
+        pending: deque[int] = deque(
+            wi for wi in range(self.scheme.nb) if wi not in done
+        )
+
+        def device_worker(gpu: VirtualGPU) -> None:
+            executor = _SingleDeviceExecutor(self, gpu, self._cache)
+            while True:
+                try:
+                    wi = pending.popleft()  # atomic under the GIL
+                except IndexError:
+                    return
+                run_iteration(executor, wi)
+
+        with ThreadPoolExecutor(
+            max_workers=n_workers, thread_name_prefix="epi4-device"
+        ) as pool:
+            futures = [
+                pool.submit(device_worker, gpu)
+                for gpu in self.cluster.gpus[:n_workers]
+            ]
+            for future in futures:
+                future.result()  # re-raise the first worker failure
 
     def _make_schedule(self) -> ScheduleResult:
         costs = [
@@ -360,23 +495,22 @@ class Epi4TensorSearch:
             gpu.transfer_to_device(self.encoded.nbytes)
             gpu.launch_pairwise(2 * (2 * m) * (2 * m) * n)
 
-    def _run_device(self, gpu: VirtualGPU, outer_iters: Iterable[int]) -> TopKReducer:
-        """Run all assigned outer (``Wi``) iterations on one device.
-
-        Returns the device-local reduction (§3.6: "Locally best scores are
-        reduced inside each GPU").
-        """
-        executor = _SingleDeviceExecutor(self, gpu)
-        return self._run_rounds(executor, outer_iters)
-
     def _run_rounds(
         self, executor: "_KernelExecutor", outer_iters: Iterable[int]
     ) -> TopKReducer:
-        """The Algorithm 1 loop nest over one executor's kernel primitives."""
+        """The Algorithm 1 loop nest over one executor's kernel primitives.
+
+        Loop-invariant operands are requested through the executor's
+        ``combine``/``sweep3`` primitives: with the round-operand cache
+        enabled, the per-``Yi`` ``wy``/``xy`` combine+sweep is computed
+        once and served from the cache across outer pairs, and the ``yz``
+        combines are shared across every enclosing ``(Wi, Xi)``; with the
+        cache disabled every request recomputes, reproducing the seed
+        driver launch-for-launch.
+        """
         assert self._low is not None, "_prepare_devices must run first"
         b = self.scheme.block_size
         nb = self.scheme.nb
-        m = self.scheme.n_snps
         reducer = TopKReducer(self.config.top_k)
 
         for wi in outer_iters:
@@ -384,17 +518,13 @@ class Epi4TensorSearch:
             for xi in range(wi, nb):
                 xo = xi * b
                 wx = [executor.combine(c, wo, xo) for c in (0, 1)]
-                sweep_wx = [executor.gemm3(wx[c], c, xo, m) for c in (0, 1)]
+                sweep_wx = [
+                    executor.sweep3(c, wo, xo, combined=wx[c]) for c in (0, 1)
+                ]
                 for yi in range(xi, nb):
                     yo = yi * b
-                    wy = [executor.combine(c, wo, yo) for c in (0, 1)]
-                    xy = [executor.combine(c, xo, yo) for c in (0, 1)]
-                    sweep_wy = [
-                        executor.gemm3(wy[c], c, yo, m) for c in (0, 1)
-                    ]
-                    sweep_xy = [
-                        executor.gemm3(xy[c], c, yo, m) for c in (0, 1)
-                    ]
+                    sweep_wy = [executor.sweep3(c, wo, yo) for c in (0, 1)]
+                    sweep_xy = [executor.sweep3(c, xo, yo) for c in (0, 1)]
                     for zi in range(yi, nb):
                         zo = zi * b
                         yz = [executor.combine(c, yo, zo) for c in (0, 1)]
@@ -438,15 +568,16 @@ class Epi4TensorSearch:
                                 self._score_min,
                             )
                         if self._progress_callback is not None:
-                            self._rounds_done += 1
-                            best_so_far = min(
-                                reducer.best, self._global_reducer.best
-                            )
-                            self._progress_callback(
-                                self._rounds_done,
-                                self.scheme.n_rounds,
-                                best_so_far,
-                            )
+                            with self._progress_lock:
+                                self._rounds_done += 1
+                                self._best_seen = min(
+                                    self._best_seen, reducer.best
+                                )
+                                self._progress_callback(
+                                    self._rounds_done,
+                                    self.scheme.n_rounds,
+                                    self._best_seen,
+                                )
         return reducer
 
 
@@ -457,23 +588,74 @@ class _SingleDeviceExecutor:
     ``sample_chunk_bits`` is configured, every tensor GEMM is split along
     the sample (K) dimension and the partial corners summed (§4.5's Turing
     large-N mitigation).
+
+    With an :class:`OperandCache` attached, ``combine`` and ``sweep3``
+    results are served from the cache when possible; a hit records
+    ``cache_hits`` on this device's counters and skips the launch (and its
+    work accounting) entirely.
     """
 
-    def __init__(self, search: "Epi4TensorSearch", gpu: VirtualGPU) -> None:
+    def __init__(
+        self,
+        search: "Epi4TensorSearch",
+        gpu: VirtualGPU,
+        cache: OperandCache | None = None,
+    ) -> None:
         self._search = search
         self._gpu = gpu
+        self._cache = cache
         self._planes = [search.encoded.class_matrix(cls) for cls in (0, 1)]
 
+    @property
+    def device_id(self) -> int:
+        return self._gpu.device_id
+
+    # -- combine -------------------------------------------------------- #
+
     def combine(self, cls: int, off_a: int, off_b: int) -> BitMatrix:
+        if self._cache is None:
+            return self._combine_cold(cls, off_a, off_b)
+        value, hit, evicted = self._cache.get_or_compute(
+            ("combine", cls, off_a, off_b),
+            lambda: self._combine_cold(cls, off_a, off_b),
+            nbytes=lambda bm: bm.nbytes,
+        )
+        self._gpu.counters.record_cache(hit, evicted)
+        return value
+
+    def _combine_cold(self, cls: int, off_a: int, off_b: int) -> BitMatrix:
         with self._search._phase["combine"]:
             return self._gpu.launch_combine(
                 self._planes[cls], off_a, off_b, self._search.scheme.block_size
             )
 
-    def gemm3(
-        self, combined: BitMatrix, cls: int, t_start: int, t_stop: int
+    # -- third-order sweep ---------------------------------------------- #
+
+    def sweep3(
+        self, cls: int, off_a: int, off_b: int, combined: BitMatrix | None = None
     ) -> np.ndarray:
+        """Third-order corner sweep of the ``(off_a, off_b)`` pair over the
+        tail ``[off_b, M)`` (the tail always starts at the second block —
+        what makes the sweep cacheable by pair alone)."""
+        if self._cache is None:
+            if combined is None:
+                combined = self._combine_cold(cls, off_a, off_b)
+            return self._gemm3(combined, cls, off_b)
+        value, hit, evicted = self._cache.get_or_compute(
+            ("sweep", cls, off_a, off_b),
+            lambda: self._gemm3(
+                combined if combined is not None
+                else self.combine(cls, off_a, off_b),
+                cls,
+                off_b,
+            ),
+        )
+        self._gpu.counters.record_cache(hit, evicted)
+        return value
+
+    def _gemm3(self, combined: BitMatrix, cls: int, t_start: int) -> np.ndarray:
         b = self._search.scheme.block_size
+        t_stop = self._search.scheme.n_snps
         chunk = self._search.config.sample_chunk_bits
         planes = self._planes[cls]
         with self._search._phase["tensor3"]:
@@ -491,6 +673,8 @@ class _SingleDeviceExecutor:
                 total = part if total is None else total + part
             assert total is not None
             return total
+
+    # -- fourth-order GEMM ---------------------------------------------- #
 
     def gemm4(self, wx: BitMatrix, yz: BitMatrix, cls: int) -> np.ndarray:
         b = self._search.scheme.block_size
@@ -518,19 +702,30 @@ class _SamplePartitionExecutor:
     Every device runs every round over its own word-aligned sample chunk;
     partial corners are summed ("combining the frequency counts for each
     genotype configuration between GPUs").  Operand handles are per-device
-    lists of combined chunks.
+    lists of combined chunks.  The round-operand cache composes: combined
+    chunk-lists and *merged* sweeps are cached under the same keys as the
+    single-device executor (hits are accounted on device 0, which also
+    hosts the merged-table scoring).
     """
 
     def __init__(
-        self, search: "Epi4TensorSearch", gpus: list[VirtualGPU]
+        self,
+        search: "Epi4TensorSearch",
+        gpus: list[VirtualGPU],
+        cache: OperandCache | None = None,
     ) -> None:
         self._search = search
         self._gpus = gpus
+        self._cache = cache
         self._plane_chunks: list[list[BitMatrix]] = []
         for cls in (0, 1):
             planes = search.encoded.class_matrix(cls)
             chunk_words = max(1, -(-planes.n_words // len(gpus)))
             self._plane_chunks.append(planes.split_bits(chunk_words * 64))
+
+    @property
+    def device_id(self) -> int:
+        return self._gpus[0].device_id
 
     def _active(self, cls: int) -> list[tuple[VirtualGPU, BitMatrix]]:
         # Narrow sample counts can yield fewer chunks than devices; the
@@ -539,6 +734,17 @@ class _SamplePartitionExecutor:
         return list(zip(self._gpus, chunks))
 
     def combine(self, cls: int, off_a: int, off_b: int) -> list[BitMatrix]:
+        if self._cache is None:
+            return self._combine_cold(cls, off_a, off_b)
+        value, hit, evicted = self._cache.get_or_compute(
+            ("combine", cls, off_a, off_b),
+            lambda: self._combine_cold(cls, off_a, off_b),
+            nbytes=lambda chunks: sum(c.nbytes for c in chunks),
+        )
+        self._gpus[0].counters.record_cache(hit, evicted)
+        return value
+
+    def _combine_cold(self, cls: int, off_a: int, off_b: int) -> list[BitMatrix]:
         b = self._search.scheme.block_size
         with self._search._phase["combine"]:
             return [
@@ -546,10 +752,34 @@ class _SamplePartitionExecutor:
                 for gpu, chunk in self._active(cls)
             ]
 
-    def gemm3(
-        self, combined: list[BitMatrix], cls: int, t_start: int, t_stop: int
+    def sweep3(
+        self,
+        cls: int,
+        off_a: int,
+        off_b: int,
+        combined: list[BitMatrix] | None = None,
+    ) -> np.ndarray:
+        if self._cache is None:
+            if combined is None:
+                combined = self._combine_cold(cls, off_a, off_b)
+            return self._gemm3(combined, cls, off_b)
+        value, hit, evicted = self._cache.get_or_compute(
+            ("sweep", cls, off_a, off_b),
+            lambda: self._gemm3(
+                combined if combined is not None
+                else self.combine(cls, off_a, off_b),
+                cls,
+                off_b,
+            ),
+        )
+        self._gpus[0].counters.record_cache(hit, evicted)
+        return value
+
+    def _gemm3(
+        self, combined: list[BitMatrix], cls: int, t_start: int
     ) -> np.ndarray:
         b = self._search.scheme.block_size
+        t_stop = self._search.scheme.n_snps
         with self._search._phase["tensor3"]:
             total: np.ndarray | None = None
             for (gpu, planes_chunk), combined_chunk in zip(

@@ -44,6 +44,38 @@ class ScheduleResult:
         """Strong-scaling speedup over a single device of the same kind."""
         return self.total_cost / self.makespan if self.makespan > 0 else 1.0
 
+    @classmethod
+    def from_executed(
+        cls, assignment: list[list[int]], costs: list[float]
+    ) -> "ScheduleResult":
+        """Score an assignment that actually ran (e.g. the dynamic order a
+        thread-parallel :class:`~repro.core.search.Epi4TensorSearch` pulled
+        from its shared work queue) against per-iteration costs.
+
+        Lets the realized load balance be compared with the modelled
+        :func:`schedule_dynamic` replay on equal terms.
+        """
+        if any(c < 0 for c in costs):
+            raise ValueError("iteration costs must be non-negative")
+        seen: set[int] = set()
+        for worker in assignment:
+            for index in worker:
+                if not 0 <= index < len(costs):
+                    raise ValueError(
+                        f"iteration {index} outside cost table of "
+                        f"{len(costs)} entries"
+                    )
+                if index in seen:
+                    raise ValueError(f"iteration {index} assigned twice")
+                seen.add(index)
+        loads = [float(sum(costs[i] for i in worker)) for worker in assignment]
+        return cls(
+            assignment=[list(worker) for worker in assignment],
+            device_loads=loads,
+            makespan=max(loads) if loads else 0.0,
+            total_cost=float(sum(costs[i] for i in seen)),
+        )
+
 
 def schedule_dynamic(costs: list[float], n_devices: int) -> ScheduleResult:
     """Replay OpenMP ``schedule(dynamic)`` over in-order iterations.

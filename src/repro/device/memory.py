@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.bitops.combine import combined_nbytes
 from repro.device.specs import GPUSpec
 
 
@@ -52,6 +53,33 @@ class DeviceMemoryEstimate:
         return "\n".join(lines)
 
 
+def cache_working_set_bytes(
+    n_snps: int, n_controls: int, n_cases: int, block_size: int
+) -> int:
+    """Total bytes of every cacheable round operand (both classes).
+
+    The round-operand cache (:mod:`repro.core.operand_cache`) stores, per
+    unordered block pair ``(Ai <= Bi)`` and class: the ``4*B^2``-row
+    combined bit-matrix and the int32 ``(B, B, M - Bi*B, 2, 2, 2)``
+    third-order sweep corners.  This sum is the cache's maximum resident
+    set — an *unbounded* cache budget is capped here, so the §3.3 memory
+    check never has to reason about ``inf``.
+    """
+    if min(n_snps, n_controls, n_cases, block_size) <= 0:
+        raise ValueError("all dimensions must be positive")
+    m, b = n_snps, block_size
+    nb = m // b
+    # Both classes, packed u64 — sized by the real operand format.
+    combine_bytes = combined_nbytes(b, n_controls) + combined_nbytes(b, n_cases)
+    total = 0
+    for bi in range(nb):
+        n_pairs = bi + 1  # pairs (ai <= bi) ending at this block
+        tail = m - bi * b
+        sweep_bytes = 2 * (b * b * tail * 8) * 4  # both classes, 8 corners, i32
+        total += n_pairs * (combine_bytes + sweep_bytes)
+    return total
+
+
 def estimate_search_memory(
     n_snps: int,
     n_controls: int,
@@ -59,6 +87,7 @@ def estimate_search_memory(
     block_size: int,
     *,
     max_chunk_cells: int = 32 * 1024 * 1024,
+    cache_budget_bytes: float = 0,
 ) -> DeviceMemoryEstimate:
     """Per-device footprint of a fourth-order search (§3.6: every GPU holds
     the full dataset, lgamma table and low-order tables).
@@ -68,6 +97,10 @@ def estimate_search_memory(
         n_controls / n_cases: class sizes.
         block_size: ``B``.
         max_chunk_cells: the ``applyScore`` chunking bound (cells/class).
+        cache_budget_bytes: round-operand cache budget.  ``0`` = caching
+            disabled (no component); ``float("inf")`` = unbounded, charged
+            at the full :func:`cache_working_set_bytes`.  A finite budget
+            is charged at ``min(budget, working set)``.
 
     Returns:
         A :class:`DeviceMemoryEstimate`.
@@ -98,6 +131,15 @@ def estimate_search_memory(
         # Round score grid (float64) + reduction buffers.
         "score grid": 8 * b**4,
     }
+    if cache_budget_bytes < 0:
+        raise ValueError(
+            f"cache_budget_bytes must be >= 0, got {cache_budget_bytes}"
+        )
+    if cache_budget_bytes > 0:
+        working_set = cache_working_set_bytes(
+            n_snps, n_controls, n_cases, block_size
+        )
+        components["operand cache"] = int(min(cache_budget_bytes, working_set))
     return DeviceMemoryEstimate(components=components)
 
 

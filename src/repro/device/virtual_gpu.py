@@ -36,6 +36,11 @@ class KernelCounters:
         score_cells: contingency-table cells completed + scored.
         transfer_bytes: host-device traffic.
         launches: launch count per kernel name.
+        cache_hits: round-operand cache lookups served without a launch
+            (the skipped ``combine``/``tensor3`` work is *not* in the
+            tensor-op/bit-op totals — the counters reflect executed work).
+        cache_misses: lookups that computed (and launched) for real.
+        cache_evictions: cache entries displaced by the byte budget.
     """
 
     tensor_ops_raw: dict[str, int] = field(
@@ -53,9 +58,27 @@ class KernelCounters:
     score_cells: int = 0
     transfer_bytes: int = 0
     launches: dict[str, int] = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
 
     def record_launch(self, kernel: str) -> None:
         self.launches[kernel] = self.launches.get(kernel, 0) + 1
+
+    def record_cache(self, hit: bool, evicted: int = 0) -> None:
+        """Account one round-operand cache lookup."""
+        if hit:
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+        self.cache_evictions += evicted
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of operand lookups served from the cache (0.0 when
+        the cache is disabled or never consulted)."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
 
     @property
     def total_tensor_ops_raw(self) -> int:
@@ -75,6 +98,9 @@ class KernelCounters:
         self.pairwise_ops += other.pairwise_ops
         self.score_cells += other.score_cells
         self.transfer_bytes += other.transfer_bytes
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.cache_evictions += other.cache_evictions
         for name, count in other.launches.items():
             self.launches[name] = self.launches.get(name, 0) + count
 

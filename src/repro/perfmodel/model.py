@@ -81,6 +81,7 @@ def predict_search(
     n_streams: int = 1,
     sample_chunked: bool = False,
     n_real_snps: int | None = None,
+    cache_operands: bool = False,
 ) -> PerformancePrediction:
     """Project a single-GPU search.
 
@@ -94,9 +95,17 @@ def predict_search(
         sample_chunked: split GEMMs at 262144 samples (removes the Turing
             large-``N`` cliff at a small bookkeeping cost).
         n_real_snps: unpadded SNP count for the useful-quads numerator.
+        cache_operands: model an unbounded round-operand cache — repeated
+            ``combine``/``tensorOp_3way`` launches become hits and drop out
+            of the tensor-op totals (see
+            :func:`repro.perfmodel.workload.search_workload`).
     """
     wl = search_workload(
-        n_snps, n_samples, block_size, n_real_snps=n_real_snps
+        n_snps,
+        n_samples,
+        block_size,
+        n_real_snps=n_real_snps,
+        cache_operands=cache_operands,
     )
     eff = tensor_efficiency(
         spec,

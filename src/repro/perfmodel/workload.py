@@ -110,6 +110,7 @@ def search_workload(
     block_size: int,
     *,
     n_real_snps: int | None = None,
+    cache_operands: bool = False,
 ) -> SearchWorkload:
     """Exact totals for a search over ``M`` padded SNPs and ``N`` samples.
 
@@ -119,6 +120,17 @@ def search_workload(
             every GEMM runs once per class over that class's bits).
         block_size: ``B``.
         n_real_snps: unpadded count (defaults to ``n_snps``).
+        cache_operands: model an *unbounded* round-operand cache
+            (:mod:`repro.core.operand_cache`).  Every combine and 3-way
+            sweep is keyed by its unordered block pair, so with the cache
+            on, each is **executed once**: ``combine`` volume collapses to
+            ``C(nb+1, 2)`` unique pairs and ``tensorOp_3way`` volume to the
+            ``wx``-shaped sum over unique ``(ai <= bi)`` pairs (the ``wy`` /
+            ``xy`` re-sweeps and repeated ``yz`` combines become cache
+            hits).  Round work (``tensorOp_4way``, ``applyScore``) is
+            per-quad unique and unaffected.  These reduced totals are
+            asserted against executed :class:`~repro.device.VirtualGPU`
+            counters in the equivalence suite.
     """
     nb = num_blocks(n_snps, block_size)
     b = block_size
@@ -129,19 +141,25 @@ def search_workload(
     tensor4 = 0
     combine_ops = 0
     n_rounds = count_rounds(nb)
-    # Pair (wi, xi) loop volume:
+    # Pair (wi, xi) loop volume.  One sweep + combine per unique unordered
+    # block pair — which is also the *total* cached-path volume, because
+    # every sweep/combine at every loop level is keyed by such a pair.
     for xi in range(nb):
         n_wi = xi + 1  # number of wi <= xi
         tensor3 += n_wi * 2 * (4 * b * b) * (2 * (m - xi * b)) * n_samples
         combine_ops += n_wi * (4 * b * b) * n_samples  # wx combine
-    # Triple (wi, xi, yi) loop volume:
-    for yi in range(nb):
-        n_pairs = comb(yi + 2, 2)  # (wi <= xi <= yi) count
-        tensor3 += n_pairs * 2 * (2 * (4 * b * b)) * (2 * (m - yi * b)) * n_samples
-        combine_ops += n_pairs * 2 * (4 * b * b) * n_samples  # wy + xy combines
+    if not cache_operands:
+        # Triple (wi, xi, yi) loop volume:
+        for yi in range(nb):
+            n_pairs = comb(yi + 2, 2)  # (wi <= xi <= yi) count
+            tensor3 += (
+                n_pairs * 2 * (2 * (4 * b * b)) * (2 * (m - yi * b)) * n_samples
+            )
+            combine_ops += n_pairs * 2 * (4 * b * b) * n_samples  # wy + xy
     # Rounds:
     tensor4 = n_rounds * 2 * (4 * b * b) * (4 * b * b) * n_samples
-    combine_ops += n_rounds * (4 * b * b) * n_samples  # yz combine
+    if not cache_operands:
+        combine_ops += n_rounds * (4 * b * b) * n_samples  # yz combine
 
     pairwise = 2 * (2 * m) * (2 * m) * n_samples  # plane-dot volume, both classes
     score_cells = n_rounds * b**4 * 81 * 2

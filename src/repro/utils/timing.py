@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 import time
 
 
@@ -17,22 +18,41 @@ class Timer:
 
     Re-entering accumulates, which lets callers time a phase that is spread
     over many loop iterations (e.g. all ``combine`` launches of a search).
+
+    Thread-safe: the start timestamp is thread-local (nested/concurrent
+    ``with`` blocks are fine) and accumulation into :attr:`elapsed` is
+    locked, so the parallel multi-device executor can charge one phase
+    timer from several worker threads at once.  Under concurrency the
+    accumulated value is *busy* time summed across threads, which can
+    exceed wall-clock — exactly the per-phase attribution the profile
+    report wants.
     """
 
     def __init__(self) -> None:
         self.elapsed = 0.0
-        self._start: float | None = None
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    def _starts(self) -> list[float]:
+        starts = getattr(self._local, "starts", None)
+        if starts is None:
+            starts = []
+            self._local.starts = starts
+        return starts
 
     def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
+        self._starts().append(time.perf_counter())
         return self
 
     def __exit__(self, *exc: object) -> None:
-        assert self._start is not None, "Timer.__exit__ without __enter__"
-        self.elapsed += time.perf_counter() - self._start
-        self._start = None
+        starts = self._starts()
+        assert starts, "Timer.__exit__ without __enter__"
+        delta = time.perf_counter() - starts.pop()
+        with self._lock:
+            self.elapsed += delta
 
     def reset(self) -> None:
         """Zero the accumulated time."""
-        self.elapsed = 0.0
-        self._start = None
+        with self._lock:
+            self.elapsed = 0.0
+        self._local = threading.local()

@@ -6,6 +6,7 @@ from repro.core.search import Epi4TensorSearch, SearchConfig
 from repro.datasets import generate_random_dataset
 from repro.device.memory import (
     DeviceMemoryError,
+    cache_working_set_bytes,
     check_fits,
     estimate_search_memory,
 )
@@ -47,6 +48,61 @@ class TestEstimate:
     def test_validation(self):
         with pytest.raises(ValueError, match="positive"):
             estimate_search_memory(0, 10, 10, 4)
+
+
+class TestCacheBudget:
+    def test_disabled_has_no_component(self):
+        est = estimate_search_memory(64, 500, 500, 8)
+        assert "operand cache" not in est.components
+
+    def test_finite_budget_charged_as_given(self):
+        est = estimate_search_memory(
+            64, 500, 500, 8, cache_budget_bytes=1_000_000
+        )
+        assert est.components["operand cache"] == 1_000_000
+
+    def test_unbounded_charged_at_working_set(self):
+        ws = cache_working_set_bytes(64, 500, 500, 8)
+        est = estimate_search_memory(
+            64, 500, 500, 8, cache_budget_bytes=float("inf")
+        )
+        assert est.components["operand cache"] == ws
+
+    def test_budget_above_working_set_capped(self):
+        ws = cache_working_set_bytes(64, 500, 500, 8)
+        est = estimate_search_memory(
+            64, 500, 500, 8, cache_budget_bytes=ws * 100
+        )
+        assert est.components["operand cache"] == ws
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError, match="cache_budget_bytes"):
+            estimate_search_memory(64, 500, 500, 8, cache_budget_bytes=-1)
+
+    def test_working_set_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            cache_working_set_bytes(0, 10, 10, 4)
+
+    def test_working_set_is_finite_bound_of_resident_cache(self):
+        # An unbounded in-practice cache never exceeds the modelled
+        # working set (the §3.3 check can therefore trust the charge).
+        from repro.core.search import SearchConfig as SC
+
+        ds = generate_random_dataset(24, 160, seed=7)
+        search = Epi4TensorSearch(ds, SC(block_size=4, cache_mb=float("inf")))
+        res = search.run()
+        ws = cache_working_set_bytes(res.block_scheme.n_snps, 80, 80, 4)
+        assert res.cache_stats.peak_bytes <= ws
+
+    def test_search_estimate_includes_cache(self):
+        ds = generate_random_dataset(12, 100, seed=0)
+        off = Epi4TensorSearch(ds, SearchConfig(block_size=4))
+        on = Epi4TensorSearch(
+            ds, SearchConfig(block_size=4, cache_mb=0.5)
+        )
+        assert "operand cache" not in off.memory_estimate.components
+        assert on.memory_estimate.components["operand cache"] > 0
+        assert on.memory_estimate.total_bytes > off.memory_estimate.total_bytes
 
 
 class TestCheckFits:

@@ -1,0 +1,208 @@
+"""Equivalence suite: the cached + thread-parallel hot path must be
+bit-identical to the cold sequential seed path.
+
+The operand cache only changes *which launches execute*; the thread-parallel
+executor only changes *which host thread drives which outer iteration*.
+Neither may perturb a single result bit: ``SearchResult.solution`` and
+``top_solutions`` are compared exactly (packed indices and float scores),
+across engines, modes, partitions and checkpoint resume.
+"""
+
+import pytest
+
+from repro.core.search import Epi4TensorSearch, SearchConfig
+from repro.datasets import generate_random_dataset
+from repro.device.cluster import ScheduleResult
+from repro.perfmodel.workload import search_workload
+
+
+def _run(ds, n_gpus=1, **cfg):
+    return Epi4TensorSearch(ds, SearchConfig(**cfg), n_gpus=n_gpus).run()
+
+
+def _assert_identical(a, b):
+    assert a.solution == b.solution
+    assert a.top_solutions == b.top_solutions
+    assert [s.packed for s in a.top_solutions] == [s.packed for s in b.top_solutions]
+    assert [s.score for s in a.top_solutions] == [s.score for s in b.top_solutions]
+
+
+class TestCachedEquivalence:
+    @pytest.mark.parametrize("engine_kind", ["and_popc", "xor_popc"])
+    @pytest.mark.parametrize("mode", ["dense", "packed"])
+    def test_engine_mode_grid(self, engine_kind, mode):
+        ds = generate_random_dataset(16, 140, seed=3)
+        base = dict(
+            block_size=4, engine_kind=engine_kind, engine_mode=mode, top_k=4
+        )
+        cold = _run(ds, **base)
+        cached = _run(ds, cache_mb=float("inf"), **base)
+        _assert_identical(cold, cached)
+
+    def test_bounded_budget_with_evictions(self):
+        # A budget far below the working set: constant churn, same bits.
+        ds = generate_random_dataset(20, 160, seed=8)
+        cold = _run(ds, block_size=4, top_k=3)
+        tiny = _run(ds, block_size=4, top_k=3, cache_mb=0.02)
+        _assert_identical(cold, tiny)
+        assert tiny.cache_stats.evictions > 0
+
+    def test_cached_counters_match_analytic_unique_volume(self):
+        # Unbounded cache: executed tensor3/combine volume collapses to the
+        # unique-pair totals of the analytic model (cache_operands=True).
+        ds = generate_random_dataset(24, 160, seed=7)
+        res = _run(ds, block_size=4, cache_mb=float("inf"))
+        wl = search_workload(
+            res.block_scheme.n_snps, 160, 4, cache_operands=True
+        )
+        assert res.counters.tensor_ops_raw["tensor3"] == wl.tensor3_ops
+        assert res.counters.combine_bit_ops == wl.combine_bit_ops
+        # Round work is per-quad unique and must be unaffected.
+        assert res.counters.tensor_ops_raw["tensor4"] == wl.tensor4_ops
+
+    def test_hit_rate_above_half(self):
+        ds = generate_random_dataset(24, 160, seed=1)
+        res = _run(ds, block_size=4, cache_mb=float("inf"))
+        assert res.cache_stats.hit_rate > 0.5
+        assert res.counters.cache_hit_rate > 0.5
+
+    def test_cache_off_matches_seed_accounting(self):
+        # With the cache disabled the full analytic workload must still be
+        # executed launch-for-launch (the seed invariant).
+        ds = generate_random_dataset(16, 140, seed=2)
+        res = _run(ds, block_size=4)
+        wl = search_workload(res.block_scheme.n_snps, 140, 4)
+        assert res.counters.tensor_ops_raw["tensor3"] == wl.tensor3_ops
+        assert res.counters.combine_bit_ops == wl.combine_bit_ops
+        assert res.cache_stats is None
+        assert res.counters.cache_hits == 0
+        assert res.counters.cache_misses == 0
+
+
+class TestThreadedEquivalence:
+    def test_threaded_matches_sequential(self):
+        ds = generate_random_dataset(16, 140, seed=5)
+        base = dict(block_size=4, top_k=5)
+        seq = _run(ds, n_gpus=4, host_threads=1, **base)
+        par = _run(ds, n_gpus=4, host_threads=4, **base)
+        _assert_identical(seq, par)
+
+    def test_threaded_cached_matches_cold_sequential(self):
+        ds = generate_random_dataset(20, 150, seed=6)
+        cold = _run(ds, block_size=4, top_k=3)
+        hot = _run(
+            ds, n_gpus=4, host_threads=4, cache_mb=float("inf"),
+            block_size=4, top_k=3,
+        )
+        _assert_identical(cold, hot)
+
+    def test_samples_partition_with_cache(self):
+        ds = generate_random_dataset(12, 180, seed=4)
+        cold = _run(ds, block_size=4, top_k=2)
+        sam = _run(
+            ds, n_gpus=3, partition="samples", cache_mb=float("inf"),
+            block_size=4, top_k=2,
+        )
+        _assert_identical(cold, sam)
+        assert sam.cache_stats.hits > 0
+
+    def test_concurrency_stress_repeated_runs(self):
+        # Tiny blocks + 4 devices + small budget: maximum scheduling and
+        # eviction nondeterminism.  Results must never vary.
+        ds = generate_random_dataset(12, 120, seed=9)
+        reference = _run(ds, block_size=2, top_k=6)
+        for trial in range(5):
+            res = _run(
+                ds, n_gpus=4, host_threads=4, cache_mb=0.01,
+                block_size=2, top_k=6,
+            )
+            _assert_identical(reference, res)
+
+    def test_executed_assignment_covers_all_iterations(self):
+        ds = generate_random_dataset(16, 120, seed=0)
+        res = _run(ds, n_gpus=4, host_threads=4, block_size=4)
+        nb = res.block_scheme.n_snps // 4
+        flat = sorted(i for worker in res.executed_assignment for i in worker)
+        assert flat == list(range(nb))
+        # The realized assignment scores cleanly against uniform costs.
+        sched = ScheduleResult.from_executed(
+            res.executed_assignment, [1.0] * nb
+        )
+        assert sched.total_cost == nb
+
+    def test_counters_merge_consistent_under_threads(self):
+        # Executed work is schedule-independent: misses compute exactly once
+        # (single-flight), so merged kernel counters match the unique volume.
+        ds = generate_random_dataset(16, 140, seed=11)
+        seq = _run(ds, block_size=4, cache_mb=float("inf"))
+        par = _run(
+            ds, n_gpus=4, host_threads=4, cache_mb=float("inf"), block_size=4
+        )
+        assert (
+            par.counters.tensor_ops_raw["tensor3"]
+            == seq.counters.tensor_ops_raw["tensor3"]
+        )
+        assert par.counters.combine_bit_ops == seq.counters.combine_bit_ops
+        assert par.counters.cache_misses == seq.counters.cache_misses
+
+
+class TestCheckpointResume:
+    def test_resume_with_cache_and_threads(self, tmp_path):
+        ds = generate_random_dataset(16, 130, seed=12)
+        base = dict(block_size=4, top_k=3, cache_mb=float("inf"))
+        path = tmp_path / "ck.json"
+
+        # Run the full search once for the reference.
+        reference = _run(ds, **base)
+
+        # First attempt: sequential run under the same fingerprint (the
+        # fingerprint pins n_gpus — resuming under a different device count
+        # is refused by design), then simulate pre-emption by truncating
+        # the checkpoint to a prefix of completed iterations.
+        search = Epi4TensorSearch(
+            ds, SearchConfig(host_threads=1, **base), n_gpus=4
+        )
+        full = search.run(checkpoint_path=str(path))
+        import json
+
+        payload = json.loads(path.read_text())
+        payload["completed"] = payload["completed"][:2]
+        path.write_text(json.dumps(payload))
+
+        # Resume (threaded + cached) from the truncated checkpoint.
+        resumed = Epi4TensorSearch(
+            ds, SearchConfig(host_threads=4, **base), n_gpus=4
+        ).run(checkpoint_path=str(path))
+        _assert_identical(reference, resumed)
+        _assert_identical(full, resumed)
+
+    def test_progress_callback_threadsafe(self):
+        ds = generate_random_dataset(12, 120, seed=13)
+        seen = []
+        lockless_best = []
+
+        def cb(done, total, best):
+            seen.append((done, total))
+            lockless_best.append(best.score)
+
+        res = Epi4TensorSearch(
+            ds,
+            SearchConfig(block_size=4, cache_mb=float("inf"), host_threads=4),
+            n_gpus=4,
+        ).run(progress_callback=cb)
+        counts = [d for d, _ in seen]
+        assert sorted(counts) == list(range(1, len(seen) + 1))
+        assert len(seen) == seen[0][1]  # one callback per round
+        assert min(lockless_best) == res.best_score
+
+
+class TestSatelliteFixes:
+    def test_quads_per_second_scaled_zero_wall(self):
+        # Satellite: a zero wall clock must yield 0.0, not inf.
+        ds = generate_random_dataset(8, 100, seed=14)
+        res = _run(ds, block_size=4)
+        res.wall_seconds = 0.0
+        assert res.quads_per_second_scaled == 0.0
+
+    def test_run_device_removed(self):
+        assert not hasattr(Epi4TensorSearch, "_run_device")

@@ -65,6 +65,27 @@ def _add_search(sub: argparse._SubParsersAction) -> None:
         help="host worker threads driving the devices (default: one per "
         "GPU, capped at the host CPU count)",
     )
+    p.add_argument(
+        "--max-retries", type=int, default=2, metavar="R",
+        help="retries a failed outer iteration gets on the same device "
+        "before it is requeued to surviving devices (default: 2)",
+    )
+    p.add_argument(
+        "--backoff-base-ms", type=float, default=10.0, metavar="MS",
+        help="base wait of the capped exponential retry backoff "
+        "(doubles per retry, jittered; default: 10)",
+    )
+    p.add_argument(
+        "--quarantine-after", type=int, default=2, metavar="K",
+        help="consecutive exhausted iterations before a device is "
+        "quarantined for the rest of the run (default: 2)",
+    )
+    p.add_argument(
+        "--inject-faults", default=None, metavar="SPEC",
+        help="deterministic fault-injection spec for resilience testing, "
+        "e.g. 'transient:op=tensor4,count=2;persistent:device=1;seed=7' "
+        "(results stay bit-identical; see repro.device.faults)",
+    )
 
 
 def _add_predict(sub: argparse._SubParsersAction) -> None:
@@ -168,6 +189,10 @@ def _cmd_search(args: argparse.Namespace) -> int:
             selfcheck=args.selfcheck,
             cache_mb=args.cache_mb,
             host_threads=args.host_threads,
+            max_retries=args.max_retries,
+            backoff_base_ms=args.backoff_base_ms,
+            quarantine_after=args.quarantine_after,
+            inject_faults=args.inject_faults,
         )
         result = Epi4TensorSearch(
             dataset, config, spec=spec, n_gpus=args.n_gpus
@@ -189,6 +214,15 @@ def _cmd_search(args: argparse.Namespace) -> int:
                   f"({cs.hits} hits / {cs.misses} misses, "
                   f"{cs.evictions} evictions, "
                   f"peak {cs.peak_bytes / 1e6:.1f} MB)")
+        if result.fault_log is not None and result.fault_log.any_activity:
+            fl = result.fault_log
+            quarantined = fl.quarantined_devices
+            print(f"faults    : {fl.total_failures} launch failures, "
+                  f"{fl.total_retries} retries "
+                  f"({fl.total_backoff_seconds * 1e3:.0f} ms backoff), "
+                  f"{fl.total_requeues} requeues, "
+                  f"{fl.total_degraded_rounds} degraded rounds, "
+                  f"quarantined {quarantined if quarantined else 'none'}")
         best_tuple = result.best_quad
         if args.report:
             from repro.reporting import format_search_report

@@ -9,6 +9,14 @@ re-enter a top-k reduction.
 
 The checkpoint is a small JSON file keyed by a configuration fingerprint;
 resuming under a different dataset/configuration is refused.
+
+Corruption recovery: every :meth:`SearchCheckpoint.save` first rotates the
+previous on-disk checkpoint to ``<path>.bak``, so a crash that truncates or
+garbles the main file (the realistic pre-emption failure mode) loses at
+most one outer iteration of progress — :meth:`SearchCheckpoint.load` falls
+back to the backup, and to a fresh start (with a warning) if both copies
+are unreadable.  The schema carries a ``version`` field; files written by a
+*newer* schema are refused cleanly rather than misparsed.
 """
 
 from __future__ import annotations
@@ -16,10 +24,16 @@ from __future__ import annotations
 import json
 import os
 import threading
+import warnings
 from dataclasses import dataclass, field
 
 from repro.core.reduction import TopKReducer
 from repro.core.solution import Solution
+
+#: Current checkpoint schema version.  Files without a ``version`` field
+#: (written before the field existed) are treated as version 1; their
+#: payload schema is identical.
+CHECKPOINT_VERSION = 2
 
 
 @dataclass
@@ -49,35 +63,96 @@ class SearchCheckpoint:
     def load(cls, path: str | os.PathLike, fingerprint: str) -> "SearchCheckpoint":
         """Load a checkpoint, or start fresh if ``path`` does not exist.
 
+        A corrupted (truncated/garbled/missing-field) main file falls back
+        to the ``.bak`` copy rotated by the previous :meth:`save`; if that
+        is unusable too, the search starts fresh with a warning — already
+        *committed* work is only lost as far back as the backup reaches.
+
         Raises:
-            ValueError: if the file exists but belongs to a different
-                dataset/configuration.
+            ValueError: if a readable file belongs to a different
+                dataset/configuration, or was written by a newer
+                checkpoint schema than this code supports.
         """
         path = os.fspath(path)
-        if not os.path.exists(path):
+        candidates = [path, path + ".bak"]
+        if not any(os.path.exists(p) for p in candidates):
             return cls(fingerprint=fingerprint)
-        with open(path, "r", encoding="utf-8") as fh:
-            payload = json.load(fh)
-        if payload.get("fingerprint") != fingerprint:
-            raise ValueError(
-                f"checkpoint {path} belongs to a different search "
-                f"(fingerprint {payload.get('fingerprint')!r}, expected "
-                f"{fingerprint!r}); delete it or change the path"
-            )
-        return cls(
-            fingerprint=fingerprint,
-            completed=set(int(i) for i in payload["completed"]),
-            solutions=[
-                Solution(score=float(s), packed=int(p))
-                for s, p in payload["solutions"]
-            ],
+        for candidate in candidates:
+            if not os.path.exists(candidate):
+                continue
+            payload = cls._read_payload(candidate)
+            if payload is None:
+                continue  # corrupt: warned inside _read_payload
+            version = payload.get("version", 1)
+            if not isinstance(version, int) or version > CHECKPOINT_VERSION:
+                raise ValueError(
+                    f"checkpoint {candidate} has schema version {version!r}, "
+                    f"newer than the supported {CHECKPOINT_VERSION}; it was "
+                    "written by a newer release — upgrade, or delete the "
+                    "checkpoint to restart"
+                )
+            if payload.get("fingerprint") != fingerprint:
+                raise ValueError(
+                    f"checkpoint {candidate} belongs to a different search "
+                    f"(fingerprint {payload.get('fingerprint')!r}, expected "
+                    f"{fingerprint!r}); delete it or change the path"
+                )
+            try:
+                return cls(
+                    fingerprint=fingerprint,
+                    completed=set(int(i) for i in payload["completed"]),
+                    solutions=[
+                        Solution(score=float(s), packed=int(p))
+                        for s, p in payload["solutions"]
+                    ],
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                warnings.warn(
+                    f"checkpoint {candidate} is malformed ({exc!r}); "
+                    "trying the next fallback",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        warnings.warn(
+            f"checkpoint {path} (and its backup) could not be recovered; "
+            "starting the search from scratch",
+            RuntimeWarning,
+            stacklevel=2,
         )
+        return cls(fingerprint=fingerprint)
+
+    @staticmethod
+    def _read_payload(candidate: str) -> dict | None:
+        """Parse one checkpoint file; ``None`` (plus a warning) if it is
+        not a JSON object."""
+        try:
+            with open(candidate, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (json.JSONDecodeError, OSError, UnicodeDecodeError) as exc:
+            warnings.warn(
+                f"checkpoint {candidate} is corrupted ({exc}); "
+                "trying the next fallback",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+        if not isinstance(payload, dict):
+            warnings.warn(
+                f"checkpoint {candidate} does not contain a JSON object; "
+                "trying the next fallback",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+        return payload
 
     def save(self, path: str | os.PathLike) -> None:
-        """Atomically write the checkpoint (write-then-rename)."""
+        """Atomically write the checkpoint (write-then-rename), rotating
+        the previous copy to ``<path>.bak`` first."""
         path = os.fspath(path)
         with self._lock:
             payload = {
+                "version": CHECKPOINT_VERSION,
                 "fingerprint": self.fingerprint,
                 "completed": sorted(self.completed),
                 "solutions": [[s.score, s.packed] for s in self.solutions],
@@ -85,15 +160,15 @@ class SearchCheckpoint:
             tmp = path + ".tmp"
             with open(tmp, "w", encoding="utf-8") as fh:
                 json.dump(payload, fh)
+            if os.path.exists(path):
+                os.replace(path, path + ".bak")
             os.replace(tmp, path)
 
     # ------------------------------------------------------------------ #
 
     def seed_reducer(self, reducer: TopKReducer) -> None:
         """Re-inject saved candidates into a fresh reducer."""
-        seed = TopKReducer(max(reducer.k, 1))
-        seed._solutions = list(self.solutions)
-        reducer.merge(seed)
+        reducer.seed(self.solutions)
 
     def record(self, wi: int, reducer: TopKReducer) -> None:
         """Mark one outer iteration finished and snapshot the candidates."""

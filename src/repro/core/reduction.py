@@ -10,6 +10,7 @@ search).
 from __future__ import annotations
 
 import threading
+from typing import Iterable
 
 import numpy as np
 
@@ -106,6 +107,29 @@ class TopKReducer:
             self._solutions.extend(candidates)
             if len(self._solutions) > 4 * self.k:
                 self._truncate()
+
+    def seed(self, solutions: "Iterable[Solution]") -> None:
+        """Inject externally persisted candidates (checkpoint resume,
+        warm starts) through the public reduction path.
+
+        Equivalent to merging a reducer that already held ``solutions``:
+        the candidates participate in the usual dedup + truncate, so
+        seeding is idempotent and order-independent like every other
+        mutation.
+        """
+        incoming = list(solutions)
+        with self._lock:
+            self._solutions.extend(incoming)
+            self._truncate()
+
+    @classmethod
+    def from_solutions(
+        cls, k: int, solutions: "Iterable[Solution]"
+    ) -> "TopKReducer":
+        """A reducer pre-populated with ``solutions`` (best ``k`` kept)."""
+        reducer = cls(k)
+        reducer.seed(solutions)
+        return reducer
 
     def merge(self, other: "TopKReducer") -> None:
         """Fold another reducer's candidates in (host-side, multi-device).

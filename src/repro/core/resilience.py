@@ -1,0 +1,388 @@
+"""Retry/backoff, device quarantine and failure observability.
+
+The recovery half of the resilience story (the fault *injection* half is
+:mod:`repro.device.faults`).  The search treats one outer (``Wi``)
+iteration as its unit of recovery — the same unit §3.6 uses for
+multi-GPU work division and :mod:`repro.core.checkpoint` uses for
+resume.  A ``Wi`` iteration is idempotent (it reads immutable operands
+and produces a candidate list) and the global reducer is merge-only, so
+re-executing a failed iteration — on the same device or any other —
+cannot change the final result: fault-tolerant runs stay **bit-identical**
+to fault-free ones.
+
+State machine per device::
+
+    healthy --fault--> retrying --(success)--> healthy
+                 |         |
+                 |         +--(retries exhausted)--> iteration requeued
+                 |                                   to surviving devices
+                 +--(quarantine_after consecutive
+                     exhausted iterations)---------> quarantined (worker
+                                                     exits; device takes
+                                                     no further work)
+
+A search aborts (:class:`SearchAbortedError`) only when an iteration has
+been requeued past every device still alive — i.e. no healthy device can
+make progress.
+
+This module is deliberately search-agnostic: :class:`RetryPolicy`,
+:class:`FaultLog` and :class:`ResilientWorkQueue` know nothing about
+epistasis; :mod:`repro.core.search` wires them to the device loop.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+class SearchAbortedError(RuntimeError):
+    """No healthy device can make further progress on the search."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with deterministic jitter.
+
+    Attributes:
+        max_retries: additional attempts after the first failure of an
+            iteration *on the same device* (0 = fail fast to requeue).
+        backoff_base_ms: wait before the first retry; doubles per retry.
+        backoff_cap_ms: upper bound on any single wait.
+        jitter: fractional jitter; each wait is scaled by a factor drawn
+            uniformly from ``[1 - jitter, 1 + jitter]`` (seeded PRNG, so
+            runs are reproducible).
+        quarantine_after: consecutive *exhausted* iterations (failed all
+            retries) before the device is quarantined.
+    """
+
+    max_retries: int = 2
+    backoff_base_ms: float = 10.0
+    backoff_cap_ms: float = 5000.0
+    jitter: float = 0.1
+    quarantine_after: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base_ms < 0:
+            raise ValueError(
+                f"backoff_base_ms must be >= 0, got {self.backoff_base_ms}"
+            )
+        if self.backoff_cap_ms < self.backoff_base_ms:
+            raise ValueError(
+                f"backoff_cap_ms ({self.backoff_cap_ms}) must be >= "
+                f"backoff_base_ms ({self.backoff_base_ms})"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+        if self.quarantine_after < 1:
+            raise ValueError(
+                f"quarantine_after must be >= 1, got {self.quarantine_after}"
+            )
+
+    @property
+    def max_attempts(self) -> int:
+        """Total attempts per iteration per device (first try + retries)."""
+        return self.max_retries + 1
+
+    def backoff_seconds(self, attempt: int, rng: random.Random) -> float:
+        """Wait before retry ``attempt`` (0-based): capped exponential
+        ``base * 2^attempt``, jittered by ``rng``."""
+        if attempt < 0:
+            raise ValueError(f"attempt must be >= 0, got {attempt}")
+        base = min(self.backoff_base_ms * (2.0 ** attempt), self.backoff_cap_ms)
+        if self.jitter:
+            base *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return base / 1000.0
+
+
+@dataclass
+class FaultIncident:
+    """One observed failure/recovery event (for the per-run audit trail).
+
+    Attributes:
+        device_id: device involved.
+        wi: outer iteration (``None`` for pre-loop faults, e.g. transfer).
+        op: failing kernel (``"round"`` for degraded re-executions).
+        kind: fault kind as reported by the exception / detector.
+        action: what the resilience layer did — ``"retry"``,
+            ``"requeue"``, ``"quarantine"``, ``"degraded"`` or ``"abort"``.
+        wait_seconds: backoff wait preceding a retry (0 otherwise).
+    """
+
+    device_id: int
+    wi: int | None
+    op: str
+    kind: str
+    action: str
+    wait_seconds: float = 0.0
+
+
+@dataclass
+class DeviceFaultLog:
+    """Per-device resilience counters.
+
+    Attributes:
+        device_id: which device.
+        attempts: iteration attempts started.
+        failures: attempts that raised a device fault.
+        retries: failed attempts retried on this device.
+        requeues: iterations surrendered to other devices after
+            exhausting local retries.
+        backoff_waits: number of backoff sleeps.
+        backoff_seconds: total time spent in backoff.
+        degraded_rounds: rounds re-executed through the independent
+            bitwise path after corruption / self-check failure.
+        quarantined: whether the device was quarantined.
+        consecutive_exhausted: current run of exhausted iterations
+            (internal quarantine trigger state).
+    """
+
+    device_id: int
+    attempts: int = 0
+    failures: int = 0
+    retries: int = 0
+    requeues: int = 0
+    backoff_waits: int = 0
+    backoff_seconds: float = 0.0
+    degraded_rounds: int = 0
+    quarantined: bool = False
+    consecutive_exhausted: int = 0
+
+
+@dataclass
+class FaultLog:
+    """Thread-safe, per-device failure observability for one search run.
+
+    Surfaces in :class:`~repro.core.search.SearchResult.fault_log` and in
+    the CLI/text report.  ``injected faults == observed handling`` checks
+    compare :class:`~repro.device.faults.InjectionStats` against
+    :attr:`total_failures` + :attr:`total_degraded_rounds` (every injected
+    launch fault surfaces as exactly one failed iteration attempt; every
+    injected corruption as exactly one degraded round).
+    """
+
+    devices: list[DeviceFaultLog]
+    incidents: list[FaultIncident] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    @classmethod
+    def for_devices(cls, n_devices: int) -> "FaultLog":
+        return cls(devices=[DeviceFaultLog(i) for i in range(n_devices)])
+
+    # ------------------------------------------------------------------ #
+    # Recording
+
+    def record_attempt(self, device_id: int) -> None:
+        with self._lock:
+            self.devices[device_id].attempts += 1
+
+    def record_failure(
+        self, device_id: int, wi: int | None, op: str, kind: str
+    ) -> None:
+        with self._lock:
+            self.devices[device_id].failures += 1
+
+    def record_retry(
+        self, device_id: int, wi: int | None, op: str, kind: str, wait: float
+    ) -> None:
+        with self._lock:
+            dev = self.devices[device_id]
+            dev.retries += 1
+            dev.backoff_waits += 1
+            dev.backoff_seconds += wait
+            self.incidents.append(
+                FaultIncident(device_id, wi, op, kind, "retry", wait)
+            )
+
+    def record_success(self, device_id: int) -> None:
+        with self._lock:
+            self.devices[device_id].consecutive_exhausted = 0
+
+    def record_requeue(
+        self, device_id: int, wi: int, op: str, kind: str
+    ) -> int:
+        """Record an exhausted iteration; returns the device's updated
+        consecutive-exhausted count (the quarantine trigger)."""
+        with self._lock:
+            dev = self.devices[device_id]
+            dev.requeues += 1
+            dev.consecutive_exhausted += 1
+            self.incidents.append(
+                FaultIncident(device_id, wi, op, kind, "requeue")
+            )
+            return dev.consecutive_exhausted
+
+    def record_quarantine(self, device_id: int, wi: int | None = None) -> None:
+        with self._lock:
+            self.devices[device_id].quarantined = True
+            self.incidents.append(
+                FaultIncident(device_id, wi, "device", "persistent", "quarantine")
+            )
+
+    def record_degraded_round(
+        self, device_id: int, wi: int | None, reason: str
+    ) -> None:
+        with self._lock:
+            self.devices[device_id].degraded_rounds += 1
+            self.incidents.append(
+                FaultIncident(device_id, wi, "round", reason, "degraded")
+            )
+
+    # ------------------------------------------------------------------ #
+    # Aggregates
+
+    @property
+    def total_failures(self) -> int:
+        with self._lock:
+            return sum(d.failures for d in self.devices)
+
+    @property
+    def total_retries(self) -> int:
+        with self._lock:
+            return sum(d.retries for d in self.devices)
+
+    @property
+    def total_requeues(self) -> int:
+        with self._lock:
+            return sum(d.requeues for d in self.devices)
+
+    @property
+    def total_degraded_rounds(self) -> int:
+        with self._lock:
+            return sum(d.degraded_rounds for d in self.devices)
+
+    @property
+    def total_backoff_seconds(self) -> float:
+        with self._lock:
+            return sum(d.backoff_seconds for d in self.devices)
+
+    @property
+    def quarantined_devices(self) -> list[int]:
+        with self._lock:
+            return [d.device_id for d in self.devices if d.quarantined]
+
+    @property
+    def any_activity(self) -> bool:
+        """True iff anything fault-related happened during the run."""
+        with self._lock:
+            return any(
+                d.failures or d.degraded_rounds or d.quarantined
+                for d in self.devices
+            )
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable per-device summary (report / CLI)."""
+        with self._lock:
+            lines = []
+            for d in self.devices:
+                state = "QUARANTINED" if d.quarantined else "healthy"
+                lines.append(
+                    f"device {d.device_id}: {state}; "
+                    f"{d.attempts} attempts, {d.failures} failures, "
+                    f"{d.retries} retries ({d.backoff_seconds * 1e3:.1f} ms "
+                    f"backoff), {d.requeues} requeues, "
+                    f"{d.degraded_rounds} degraded rounds"
+                )
+            return lines
+
+
+class ResilientWorkQueue:
+    """A shared outer-iteration queue that survives worker attrition.
+
+    Extends the PR-1 dynamic work queue with the two operations fault
+    tolerance needs:
+
+    - :meth:`requeue` — put a failed iteration back for *other* devices
+      (the surrendering device is excluded from that iteration so the
+      queue never hands it straight back);
+    - worker registration — a worker that quarantines (or simply runs
+      out of eligible work) unregisters, and the queue detects the
+      moment remaining work has been excluded by every surviving device
+      and raises :class:`SearchAbortedError` instead of deadlocking.
+
+    :meth:`get` blocks while another worker still has an iteration in
+    flight (it might be requeued), which is what guarantees no work is
+    lost when a device fails mid-iteration.
+    """
+
+    def __init__(self, iterations: Iterable[int]) -> None:
+        self._pending: deque[int] = deque(iterations)
+        self._excluded: dict[int, set[int]] = {}
+        self._workers: set[int] = set()
+        self._in_flight = 0
+        self._cond = threading.Condition()
+
+    def register(self, device_id: int) -> None:
+        with self._cond:
+            self._workers.add(device_id)
+
+    def unregister(self, device_id: int) -> None:
+        with self._cond:
+            self._workers.discard(device_id)
+            self._cond.notify_all()
+
+    def excluded_devices(self, wi: int) -> set[int]:
+        with self._cond:
+            return set(self._excluded.get(wi, ()))
+
+    # ------------------------------------------------------------------ #
+
+    def get(self, device_id: int) -> int | None:
+        """Next iteration this device may run, or ``None`` when the
+        search is complete (or this device can contribute nothing more).
+
+        Raises:
+            SearchAbortedError: work remains that no registered device is
+                allowed to run.
+        """
+        with self._cond:
+            while True:
+                for _ in range(len(self._pending)):
+                    wi = self._pending.popleft()
+                    if device_id not in self._excluded.get(wi, ()):
+                        self._in_flight += 1
+                        return wi
+                    self._pending.append(wi)  # keep issue order for others
+                if not self._pending and self._in_flight == 0:
+                    return None
+                if self._pending and self._none_eligible_locked():
+                    raise SearchAbortedError(
+                        f"iterations {sorted(self._pending)} failed on every "
+                        "available device (all surviving devices exhausted "
+                        "their retries); search cannot complete"
+                    )
+                if self._pending and all(
+                    device_id in self._excluded.get(wi, ())
+                    for wi in self._pending
+                ) and self._in_flight == 0:
+                    # Everything left is excluded for *this* device but
+                    # other registered workers can still take it.
+                    return None
+                self._cond.wait()
+
+    def _none_eligible_locked(self) -> bool:
+        return all(
+            self._workers <= self._excluded.get(wi, set())
+            for wi in self._pending
+        )
+
+    def done(self, wi: int) -> None:
+        """The iteration committed; release its in-flight slot."""
+        with self._cond:
+            self._in_flight -= 1
+            self._cond.notify_all()
+
+    def requeue(self, wi: int, exclude_device: int) -> None:
+        """Return a failed iteration to the queue for other devices."""
+        with self._cond:
+            self._excluded.setdefault(wi, set()).add(exclude_device)
+            self._pending.append(wi)
+            self._in_flight -= 1
+            self._cond.notify_all()

@@ -39,11 +39,12 @@ from __future__ import annotations
 
 import math
 import os
+import random
 import threading
-from collections import deque
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Callable, Iterable
 
 import numpy as np
 
@@ -57,10 +58,29 @@ from repro.core.blocks import BlockScheme
 from repro.core.operand_cache import CacheStats, OperandCache
 from repro.core.pairwise import LowOrderTables, pairw_pop
 from repro.core.reduction import TopKReducer, reduce_solutions
+from repro.core.resilience import (
+    FaultLog,
+    ResilientWorkQueue,
+    RetryPolicy,
+    SearchAbortedError,
+)
+from repro.core.selfcheck import (
+    CorruptOutputError,
+    SelfCheckError,
+    direct_round_operands,
+    validate_round_corners,
+    verify_round_best,
+)
 from repro.core.solution import MAX_SNP_INDEX, Solution
 from repro.datasets.dataset import Dataset
 from repro.datasets.encoding import EncodedDataset, encode_dataset
 from repro.device.cluster import ScheduleResult, VirtualCluster
+from repro.device.faults import (
+    DeviceFault,
+    FaultInjector,
+    FaultyGPU,
+    parse_fault_spec,
+)
 from repro.device.specs import A100_PCIE, GPUSpec
 from repro.device.virtual_gpu import KernelCounters, VirtualGPU
 from repro.perfmodel.workload import outer_iteration_tensor_ops
@@ -111,6 +131,17 @@ class SearchConfig:
             seed path; values above the device count are capped (the
             model is one thread per GPU, §3.6).  Ignored by the
             ``"samples"`` partition, whose devices cooperate per round.
+        max_retries: additional attempts a failed outer iteration gets on
+            the same device before it is requeued to surviving devices
+            (see :mod:`repro.core.resilience`).
+        backoff_base_ms: base wait of the capped exponential retry
+            backoff (doubles per retry, jittered).
+        quarantine_after: consecutive exhausted iterations before a
+            device is quarantined and takes no further work.
+        inject_faults: fault-injection spec string (see
+            :func:`repro.device.faults.parse_fault_spec`); ``None`` runs
+            fault-free.  Results are bit-identical either way — the
+            resilience layer only re-executes idempotent work.
     """
 
     block_size: int = 16
@@ -125,6 +156,10 @@ class SearchConfig:
     selfcheck: bool = False
     cache_mb: float | None = None
     host_threads: int | None = None
+    max_retries: int = 2
+    backoff_base_ms: float = 10.0
+    quarantine_after: int = 2
+    inject_faults: str | None = None
 
     def __post_init__(self) -> None:
         if self.block_size < 2:
@@ -154,6 +189,21 @@ class SearchConfig:
             raise ValueError(
                 f"host_threads must be >= 1, got {self.host_threads}"
             )
+        # Delegate retry-knob validation to RetryPolicy (and fail fast on a
+        # malformed fault spec rather than mid-search).
+        self.retry_policy
+        if self.inject_faults is not None:
+            parse_fault_spec(self.inject_faults)
+
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        """The resilience policy resolved from this configuration."""
+        return RetryPolicy(
+            max_retries=self.max_retries,
+            backoff_base_ms=self.backoff_base_ms,
+            backoff_cap_ms=max(5000.0, self.backoff_base_ms),
+            quarantine_after=self.quarantine_after,
+        )
 
     @property
     def cache_budget_bytes(self) -> float:
@@ -189,6 +239,9 @@ class SearchResult:
         wall_seconds: end-to-end wall time of :meth:`Epi4TensorSearch.run`.
         n_samples: ``N`` used for the scaled-quads metric.
         cache_stats: round-operand cache snapshot (``None`` = cache off).
+        fault_log: per-device resilience accounting (attempts, retries,
+            backoff, requeues, quarantines, degraded rounds).  All-zero
+            on a healthy run.
         spec_name / engine_name / n_devices: provenance.
     """
 
@@ -206,6 +259,7 @@ class SearchResult:
     n_devices: int
     cache_stats: CacheStats | None = None
     executed_assignment: list[list[int]] = field(default_factory=list)
+    fault_log: FaultLog | None = None
 
     @property
     def best_quad(self) -> tuple[int, int, int, int]:
@@ -316,6 +370,16 @@ class Epi4TensorSearch:
         self._best_seen = Solution.worst()
         self._global_reducer = TopKReducer(self.config.top_k)
         self._cache: OperandCache | None = None
+        # Resilience state (reset per run; see _reset_resilience).
+        self._fault_plan = (
+            parse_fault_spec(self.config.inject_faults)
+            if self.config.inject_faults
+            else None
+        )
+        self._retry_policy = self.config.retry_policy
+        self._injector: FaultInjector | None = None
+        self._backoff_rng = random.Random(0)
+        self.fault_log = FaultLog.for_devices(self.cluster.n_gpus)
 
     # ------------------------------------------------------------------ #
 
@@ -369,6 +433,7 @@ class Epi4TensorSearch:
 
         total_timer = Timer()
         with total_timer:
+            self._reset_resilience()
             schedule = self._make_schedule()
             self._prepare_devices()
             self._cache = OperandCache.create(self.config.cache_mb)
@@ -392,29 +457,11 @@ class Epi4TensorSearch:
                         checkpoint.save(checkpoint_path)
 
             if self.config.partition == "samples" and self.cluster.n_gpus > 1:
-                # §4.6 alternative scheme: every device runs every round
-                # over its own sample range; one pass, merged corners.
-                # Devices cooperate within a round, so the host drives
-                # them from a single thread.
-                executor = _SamplePartitionExecutor(
-                    self, self.cluster.gpus, self._cache
-                )
-                for wi in range(self.scheme.nb):
-                    if wi not in done:
-                        run_iteration(executor, wi)
+                self._run_samples_partition(done, run_iteration)
             else:
                 n_workers = self.host_worker_count()
                 if n_workers <= 1:
-                    # Sequential replay of the modelled dynamic schedule
-                    # (the seed path — also the deterministic per-device
-                    # accounting baseline).
-                    for gpu, outer_iters in zip(
-                        self.cluster.gpus, schedule.assignment
-                    ):
-                        executor = _SingleDeviceExecutor(self, gpu, self._cache)
-                        for wi in outer_iters:
-                            if wi not in done:
-                                run_iteration(executor, wi)
+                    self._run_sequential(schedule, done, run_iteration)
                 else:
                     self._run_parallel(n_workers, done, run_iteration)
             top = reducer.result()
@@ -435,6 +482,7 @@ class Epi4TensorSearch:
             wall_seconds=total_timer.elapsed,
             n_samples=self.encoded.n_samples,
             cache_stats=self._cache.stats if self._cache is not None else None,
+            fault_log=self.fault_log,
             spec_name=self.spec.name,
             engine_name=self.cluster.gpus[0].engine.name,
             n_devices=self.cluster.n_gpus,
@@ -443,30 +491,203 @@ class Epi4TensorSearch:
     # ------------------------------------------------------------------ #
     # Phases
 
+    def _reset_resilience(self) -> None:
+        """Fresh fault log / injector / backoff PRNG for one run — repeat
+        :meth:`run` calls are independently deterministic."""
+        self.fault_log = FaultLog.for_devices(self.cluster.n_gpus)
+        self.cluster.reset_quarantine()
+        seed = self._fault_plan.seed if self._fault_plan is not None else 0
+        self._backoff_rng = random.Random(seed)
+        self._injector = (
+            FaultInjector(self._fault_plan) if self._fault_plan is not None else None
+        )
+
+    def _wrap_gpu(self, gpu: VirtualGPU):
+        """Route a device's launches through the fault injector (no-op
+        wrapper-free passthrough when injection is off)."""
+        if self._injector is None:
+            return gpu
+        return FaultyGPU(gpu, self._injector)
+
+    def _with_retries(
+        self, device_id: int, wi: int | None, attempt_fn: Callable[[], None]
+    ) -> DeviceFault | None:
+        """Run one idempotent unit with the retry/backoff policy.
+
+        Returns ``None`` on success, or the last :class:`DeviceFault`
+        once the policy is exhausted (the caller decides between requeue,
+        quarantine and abort).
+        """
+        policy = self._retry_policy
+        last: DeviceFault | None = None
+        for attempt in range(policy.max_attempts):
+            self.fault_log.record_attempt(device_id)
+            if self._injector is not None:
+                self._injector.begin_iteration(device_id, wi)
+            try:
+                attempt_fn()
+            except DeviceFault as fault:
+                last = fault
+                self.fault_log.record_failure(device_id, wi, fault.op, fault.kind)
+                if attempt + 1 < policy.max_attempts:
+                    wait = policy.backoff_seconds(attempt, self._backoff_rng)
+                    self.fault_log.record_retry(
+                        device_id, wi, fault.op, fault.kind, wait
+                    )
+                    if wait > 0:
+                        time.sleep(wait)
+            else:
+                self.fault_log.record_success(device_id)
+                return None
+            finally:
+                if self._injector is not None:
+                    self._injector.begin_iteration(device_id, None)
+        return last
+
+    def _note_exhausted(
+        self, device_id: int, wi: int, fault: DeviceFault
+    ) -> bool:
+        """Record an iteration that failed all local retries; quarantine
+        the device when the policy says so.  Returns True if quarantined."""
+        exhausted = self.fault_log.record_requeue(
+            device_id, wi, fault.op, fault.kind
+        )
+        if exhausted >= self._retry_policy.quarantine_after:
+            self.fault_log.record_quarantine(device_id, wi)
+            self.cluster.quarantine(device_id)
+            return True
+        return False
+
+    def _run_sequential(
+        self, schedule: ScheduleResult, done: set[int], run_iteration
+    ) -> None:
+        """Sequential replay of the modelled dynamic schedule (the seed
+        path — also the deterministic per-device accounting baseline).
+
+        Under faults, each iteration is retried on its assigned device;
+        exhausted iterations are deferred and re-driven through the
+        surviving devices in a second pass (mirroring the parallel
+        executor's requeue, at the cost of schedule fidelity — which a
+        faulty run has already lost anyway)."""
+        executors = {
+            gpu.device_id: _SingleDeviceExecutor(
+                self, self._wrap_gpu(gpu), self._cache
+            )
+            for gpu in self.cluster.gpus
+        }
+        deferred: list[int] = []
+        for gpu, outer_iters in zip(self.cluster.gpus, schedule.assignment):
+            for wi in outer_iters:
+                if wi in done:
+                    continue
+                if gpu.device_id in self.cluster.quarantined:
+                    deferred.append(wi)
+                    continue
+                fault = self._with_retries(
+                    gpu.device_id,
+                    wi,
+                    lambda e=executors[gpu.device_id], w=wi: run_iteration(e, w),
+                )
+                if fault is not None:
+                    self._note_exhausted(gpu.device_id, wi, fault)
+                    deferred.append(wi)
+        for wi in deferred:
+            committed = False
+            last: DeviceFault | None = None
+            for gpu in self.cluster.gpus:
+                if gpu.device_id in self.cluster.quarantined:
+                    continue
+                fault = self._with_retries(
+                    gpu.device_id,
+                    wi,
+                    lambda e=executors[gpu.device_id], w=wi: run_iteration(e, w),
+                )
+                if fault is None:
+                    committed = True
+                    break
+                last = fault
+                self._note_exhausted(gpu.device_id, wi, fault)
+            if not committed:
+                raise SearchAbortedError(
+                    f"outer iteration {wi} failed on every available device "
+                    f"(last fault: {last}); search cannot complete"
+                )
+
+    def _run_samples_partition(self, done: set[int], run_iteration) -> None:
+        """§4.6 alternative scheme: every device runs every round over its
+        own sample range; one pass, merged corners.  Devices cooperate
+        within a round, so the host drives them from a single thread —
+        and a persistently failing device cannot be routed around (its
+        sample chunk is irreplaceable): exhausted retries abort."""
+        executor = _SamplePartitionExecutor(
+            self,
+            [self._wrap_gpu(gpu) for gpu in self.cluster.gpus],
+            self._cache,
+        )
+        for wi in range(self.scheme.nb):
+            if wi in done:
+                continue
+            fault = self._with_retries(
+                executor.device_id, wi, lambda w=wi: run_iteration(executor, w)
+            )
+            if fault is not None:
+                raise SearchAbortedError(
+                    f"outer iteration {wi} exhausted its retries under the "
+                    f"'samples' partition ({fault}); every device's sample "
+                    "chunk is required per round, so no requeue is possible"
+                )
+
     def _run_parallel(self, n_workers: int, done: set[int], run_iteration) -> None:
         """One worker thread per device, pulling outer iterations from a
-        shared queue — the host-side realization of OpenMP
-        ``schedule(dynamic)`` over the ``Wi`` loop (§3.6)."""
-        pending: deque[int] = deque(
+        shared fault-tolerant queue — the host-side realization of OpenMP
+        ``schedule(dynamic)`` over the ``Wi`` loop (§3.6).
+
+        A worker that exhausts its retries on an iteration requeues it
+        for the surviving devices (the queue excludes the surrendering
+        device); after ``quarantine_after`` consecutive exhausted
+        iterations the device is quarantined and its worker exits.  The
+        queue raises :class:`SearchAbortedError` if work remains that no
+        surviving device may run."""
+        queue = ResilientWorkQueue(
             wi for wi in range(self.scheme.nb) if wi not in done
         )
 
         def device_worker(gpu: VirtualGPU) -> None:
-            executor = _SingleDeviceExecutor(self, gpu, self._cache)
-            while True:
-                try:
-                    wi = pending.popleft()  # atomic under the GIL
-                except IndexError:
-                    return
-                run_iteration(executor, wi)
+            executor = _SingleDeviceExecutor(
+                self, self._wrap_gpu(gpu), self._cache
+            )
+            dev = gpu.device_id
+            queue.register(dev)
+            try:
+                while True:
+                    wi = queue.get(dev)
+                    if wi is None:
+                        return
+                    fault = self._with_retries(
+                        dev, wi, lambda w=wi: run_iteration(executor, w)
+                    )
+                    if fault is None:
+                        queue.done(wi)
+                        continue
+                    queue.requeue(wi, dev)
+                    if self._note_exhausted(dev, wi, fault):
+                        return  # quarantined
+            finally:
+                queue.unregister(dev)
 
+        workers = [
+            gpu
+            for gpu in self.cluster.gpus
+            if gpu.device_id not in self.cluster.quarantined
+        ][:n_workers]
+        if not workers:
+            raise SearchAbortedError(
+                "every device was quarantined before the search loop started"
+            )
         with ThreadPoolExecutor(
-            max_workers=n_workers, thread_name_prefix="epi4-device"
+            max_workers=len(workers), thread_name_prefix="epi4-device"
         ) as pool:
-            futures = [
-                pool.submit(device_worker, gpu)
-                for gpu in self.cluster.gpus[:n_workers]
-            ]
+            futures = [pool.submit(device_worker, gpu) for gpu in workers]
             for future in futures:
                 future.result()  # re-raise the first worker failure
 
@@ -487,13 +708,30 @@ class Epi4TensorSearch:
         As in §3.6, every device receives the full dataset and a full copy
         of the lgamma table and low-order tables; the precomputation itself
         is done once (its cost is accounted on every device).
+
+        Transfer faults are retried per the policy; a device that cannot
+        even receive the dataset is quarantined up front (the search
+        proceeds on the survivors, or aborts if none remain).
         """
         with self._phase["pairwise"]:
             self._low = pairw_pop(self.encoded)
         m, n = self.encoded.n_snps, self.encoded.n_samples
+
         for gpu in self.cluster.gpus:
-            gpu.transfer_to_device(self.encoded.nbytes)
-            gpu.launch_pairwise(2 * (2 * m) * (2 * m) * n)
+            target = self._wrap_gpu(gpu)
+
+            def prepare() -> None:
+                target.transfer_to_device(self.encoded.nbytes)
+                target.launch_pairwise(2 * (2 * m) * (2 * m) * n)
+
+            fault = self._with_retries(gpu.device_id, None, prepare)
+            if fault is not None:
+                self.fault_log.record_quarantine(gpu.device_id)
+                self.cluster.quarantine(gpu.device_id)
+        if len(self.cluster.quarantined) == self.cluster.n_gpus:
+            raise SearchAbortedError(
+                "no device survived dataset transfer; search cannot start"
+            )
 
     def _run_rounds(
         self, executor: "_KernelExecutor", outer_iters: Iterable[int]
@@ -548,25 +786,10 @@ class Epi4TensorSearch:
                             offsets=(wo, xo, yo, zo),
                             block_size=b,
                         )
+                        scores = self._score_round(executor, operands)
                         with self._phase["score"]:
-                            scores = apply_score(
-                                operands,
-                                self._low.pairs,
-                                self._score_min,
-                                self.scheme.n_real_snps,
-                                max_chunk_cells=self.config.max_chunk_cells,
-                            )
                             executor.account_score(b**4 * 81 * 2)
                             reducer.add_round(scores, operands.offsets)
-                        if self.config.selfcheck:
-                            from repro.core.selfcheck import verify_round_best
-
-                            verify_round_best(
-                                self.encoded,
-                                scores,
-                                operands.offsets,
-                                self._score_min,
-                            )
                         if self._progress_callback is not None:
                             with self._progress_lock:
                                 self._rounds_done += 1
@@ -579,6 +802,74 @@ class Epi4TensorSearch:
                                     self._best_seen,
                                 )
         return reducer
+
+    # ------------------------------------------------------------------ #
+    # Scoring with graceful degradation
+
+    def _score_round(
+        self, executor: "_KernelExecutor", operands: RoundOperands
+    ) -> np.ndarray:
+        """Score one round, degrading to the independent bitwise path on
+        detected corruption instead of aborting.
+
+        Detection is two-layered: a cheap count-plausibility validation
+        of the tensor outputs (active whenever fault injection is
+        configured) and the full per-round self-check (when
+        ``config.selfcheck`` is on).  Either failure re-executes the
+        round from :func:`~repro.core.selfcheck.direct_round_operands` —
+        exact integer corners through the *same* completion + scoring
+        code — so the degraded round is bit-identical to an uncorrupted
+        one.  A round that fails its self-check even on the bitwise path
+        indicates host-side corruption and still aborts.
+        """
+        try:
+            if self._fault_plan is not None:
+                validate_round_corners(
+                    operands, self.encoded.n_controls, self.encoded.n_cases
+                )
+            with self._phase["score"]:
+                scores = apply_score(
+                    operands,
+                    self._low.pairs,
+                    self._score_min,
+                    self.scheme.n_real_snps,
+                    max_chunk_cells=self.config.max_chunk_cells,
+                )
+            if self.config.selfcheck:
+                verify_round_best(
+                    self.encoded, scores, operands.offsets, self._score_min
+                )
+            return scores
+        except SelfCheckError as err:
+            return self._degraded_round(executor, operands, err)
+
+    def _degraded_round(
+        self,
+        executor: "_KernelExecutor",
+        operands: RoundOperands,
+        err: SelfCheckError,
+    ) -> np.ndarray:
+        reason = "corrupt" if isinstance(err, CorruptOutputError) else "selfcheck"
+        safe = direct_round_operands(
+            self.encoded, operands.offsets, operands.block_size
+        )
+        with self._phase["score"]:
+            scores = apply_score(
+                safe,
+                self._low.pairs,
+                self._score_min,
+                self.scheme.n_real_snps,
+                max_chunk_cells=self.config.max_chunk_cells,
+            )
+        if self.config.selfcheck:
+            # Still wrong on the independent path => the corruption is not
+            # in the tensor pipeline; nothing left to fall back to.
+            verify_round_best(
+                self.encoded, scores, operands.offsets, self._score_min
+            )
+        wi = operands.offsets[0] // operands.block_size
+        self.fault_log.record_degraded_round(executor.device_id, wi, reason)
+        return scores
 
 
 class _SingleDeviceExecutor:

@@ -23,6 +23,11 @@ class SelfCheckError(AssertionError):
     """The tensor pipeline and the independent bitwise path disagreed."""
 
 
+class CorruptOutputError(SelfCheckError):
+    """A tensor output failed the cheap plausibility validation (a corner
+    count outside ``[0, N_class]`` — impossible for a popcount)."""
+
+
 def direct_quad_tables(
     encoded: EncodedDataset, quad: tuple[int, int, int, int]
 ) -> tuple[np.ndarray, np.ndarray]:
@@ -49,6 +54,129 @@ def direct_quad_tables(
         )
         tables.append(joint.sum(axis=-1, dtype=np.int64))
     return tables[0], tables[1]
+
+
+def validate_round_corners(operands, n_controls: int, n_cases: int) -> None:
+    """Cheap plausibility validation of one round's tensor outputs.
+
+    Every corner entry is a popcount over one class's samples, so it must
+    lie in ``[0, N_class]``.  This catches the silent-data-corruption
+    fault model of :mod:`repro.device.faults` (and real bit-flips in a
+    count) without the per-quad cost of the full self-check.
+
+    Args:
+        operands: a :class:`~repro.core.apply_score.RoundOperands`.
+        n_controls: ``N0``.
+        n_cases: ``N1``.
+
+    Raises:
+        CorruptOutputError: naming the offending corner array and class.
+    """
+    groups = {
+        "corner4": operands.corner4,
+        "corner3_wxy": operands.corner3_wxy,
+        "corner3_wxz": operands.corner3_wxz,
+        "corner3_wyz": operands.corner3_wyz,
+        "corner3_xyz": operands.corner3_xyz,
+    }
+    for name, per_class in groups.items():
+        for cls, bound in ((0, n_controls), (1, n_cases)):
+            arr = per_class[cls]
+            lo = int(arr.min())
+            hi = int(arr.max())
+            if lo < 0 or hi > bound:
+                raise CorruptOutputError(
+                    f"corrupted tensor output in {name} (class {cls}) at "
+                    f"round offsets {operands.offsets}: counts span "
+                    f"[{lo}, {hi}], outside the possible [0, {bound}]"
+                )
+
+
+def _block_planes(dense: np.ndarray, offset: int, block_size: int) -> np.ndarray:
+    """``(B, 2, N)`` boolean planes of one block (row ``2*m + g`` layout)."""
+    return dense[2 * offset : 2 * (offset + block_size)].reshape(
+        block_size, 2, -1
+    )
+
+
+def direct_round_operands(encoded: EncodedDataset, offsets, block_size: int):
+    """Recompute one round's tensor outputs through the independent
+    bitwise path (no tensor engine, no combine kernel, no cache).
+
+    Used by graceful degradation: when a round's outputs are detected as
+    corrupt (or the self-check fails), the search re-executes the round
+    from these operands.  The corners are exact integer popcounts, so
+    feeding them through the *same* completion + scoring code yields
+    bit-identical scores to an uncorrupted tensor-pipeline round — which
+    is what keeps degraded runs bit-identical to fault-free ones.
+
+    Args:
+        encoded: the encoded dataset.
+        offsets: global block offsets ``(wo, xo, yo, zo)``.
+        block_size: ``B``.
+
+    Returns:
+        A :class:`~repro.core.apply_score.RoundOperands` equivalent to
+        the tensor pipeline's (same shapes, dtypes and values).
+    """
+    from repro.core.apply_score import RoundOperands
+
+    b = block_size
+    wo, xo, yo, zo = offsets
+    corner4: list[np.ndarray] = []
+    c_wxy: list[np.ndarray] = []
+    c_wxz: list[np.ndarray] = []
+    c_wyz: list[np.ndarray] = []
+    c_xyz: list[np.ndarray] = []
+    for cls in (0, 1):
+        dense = encoded.class_matrix(cls).to_bool()
+        wb = _block_planes(dense, wo, b)
+        xb = _block_planes(dense, xo, b)
+        yb = _block_planes(dense, yo, b)
+        zb = _block_planes(dense, zo, b)
+        # Combined operands in the engine's row order (i, g_i, j, g_j).
+        wx = (wb[:, :, None, None, :] & xb[None, None, :, :, :]).reshape(
+            4 * b * b, -1
+        )
+        wy = (wb[:, :, None, None, :] & yb[None, None, :, :, :]).reshape(
+            4 * b * b, -1
+        )
+        xy = (xb[:, :, None, None, :] & yb[None, None, :, :, :]).reshape(
+            4 * b * b, -1
+        )
+        yz = (yb[:, :, None, None, :] & zb[None, None, :, :, :]).reshape(
+            4 * b * b, -1
+        )
+        wx64 = wx.astype(np.int64)
+        raw4 = wx64 @ yz.astype(np.int64).T  # (4B^2, 4B^2)
+        corner4.append(
+            np.ascontiguousarray(
+                raw4.reshape(b, 2, b, 2, b, 2, b, 2).transpose(
+                    0, 2, 4, 6, 1, 3, 5, 7
+                )
+            )
+        )
+
+        def corner3(pair: np.ndarray, tail: np.ndarray) -> np.ndarray:
+            raw = pair.astype(np.int64) @ tail.reshape(2 * b, -1).astype(
+                np.int64
+            ).T  # (4B^2, 2B)
+            out = raw.reshape(b, 2, b, 2, b, 2).transpose(0, 2, 4, 1, 3, 5)
+            return np.ascontiguousarray(out, dtype=np.int32)
+
+        c_wxy.append(corner3(wx, yb))
+        c_wxz.append(corner3(wx, zb))
+        c_wyz.append(corner3(wy, zb))
+        c_xyz.append(corner3(xy, zb))
+    return RoundOperands(
+        corner4=(corner4[0], corner4[1]),
+        corner3_wxy=(c_wxy[0], c_wxy[1]),
+        corner3_wxz=(c_wxz[0], c_wxz[1]),
+        corner3_wyz=(c_wyz[0], c_wyz[1]),
+        corner3_xyz=(c_xyz[0], c_xyz[1]),
+        offsets=(wo, xo, yo, zo),
+        block_size=b,
+    )
 
 
 def verify_round_best(

@@ -7,6 +7,14 @@ performance model (:mod:`repro.perfmodel`) derives projected runtimes.
 """
 
 from repro.device.cluster import VirtualCluster
+from repro.device.faults import (
+    DeviceFault,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    FaultyGPU,
+    parse_fault_spec,
+)
 from repro.device.specs import (
     A100_PCIE,
     A100_SXM4,
@@ -22,6 +30,11 @@ from repro.device.virtual_gpu import KernelCounters, VirtualGPU
 __all__ = [
     "A100_PCIE",
     "A100_SXM4",
+    "DeviceFault",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "FaultyGPU",
     "GPUSpec",
     "KernelCounters",
     "SYSTEMS",
@@ -31,4 +44,5 @@ __all__ = [
     "VirtualCluster",
     "VirtualGPU",
     "gpu_by_name",
+    "parse_fault_spec",
 ]

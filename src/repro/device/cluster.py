@@ -129,14 +129,38 @@ class VirtualCluster:
             )
             for i in range(n_gpus)
         ]
+        #: Devices removed from service by the resilience layer (see
+        #: :mod:`repro.core.resilience`).  A quarantined device keeps its
+        #: accumulated counters but receives no further work.
+        self.quarantined: set[int] = set()
 
     @property
     def n_gpus(self) -> int:
         return len(self.gpus)
+
+    @property
+    def active_gpus(self) -> list[VirtualGPU]:
+        """Devices still in service (not quarantined)."""
+        return [g for g in self.gpus if g.device_id not in self.quarantined]
+
+    def quarantine(self, device_id: int) -> None:
+        """Remove a device from service for the rest of the run."""
+        if not 0 <= device_id < self.n_gpus:
+            raise ValueError(
+                f"device_id {device_id} outside cluster of {self.n_gpus} GPUs"
+            )
+        self.quarantined.add(device_id)
+
+    def reset_quarantine(self) -> None:
+        """Return every device to service (start of a fresh run)."""
+        self.quarantined.clear()
 
     def schedule(self, costs: list[float]) -> ScheduleResult:
         """Dynamic-schedule the outer iterations across this cluster."""
         return schedule_dynamic(costs, self.n_gpus)
 
     def __repr__(self) -> str:
-        return f"VirtualCluster({self.n_gpus} x {self.spec.name})"
+        state = (
+            f", {len(self.quarantined)} quarantined" if self.quarantined else ""
+        )
+        return f"VirtualCluster({self.n_gpus} x {self.spec.name}{state})"

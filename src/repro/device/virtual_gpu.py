@@ -41,6 +41,9 @@ class KernelCounters:
             tensor-op/bit-op totals — the counters reflect executed work).
         cache_misses: lookups that computed (and launched) for real.
         cache_evictions: cache entries displaced by the byte budget.
+        faults_injected: launches this device failed or corrupted under
+            fault injection (see :mod:`repro.device.faults`); zero on a
+            healthy run.
     """
 
     tensor_ops_raw: dict[str, int] = field(
@@ -61,9 +64,14 @@ class KernelCounters:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_evictions: int = 0
+    faults_injected: int = 0
 
     def record_launch(self, kernel: str) -> None:
         self.launches[kernel] = self.launches.get(kernel, 0) + 1
+
+    def record_fault(self) -> None:
+        """Account one injected launch fault (or output corruption)."""
+        self.faults_injected += 1
 
     def record_cache(self, hit: bool, evicted: int = 0) -> None:
         """Account one round-operand cache lookup."""
@@ -101,6 +109,7 @@ class KernelCounters:
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
         self.cache_evictions += other.cache_evictions
+        self.faults_injected += other.faults_injected
         for name, count in other.launches.items():
             self.launches[name] = self.launches.get(name, 0) + count
 

@@ -94,6 +94,31 @@ def format_search_report(
     add(f"  kernel launches     : {kernel_counts}")
     add("")
 
+    if result.fault_log is not None and result.fault_log.any_activity:
+        fl = result.fault_log
+        add("resilience (faults observed this run)")
+        add(_rule())
+        add(
+            f"  totals: {fl.total_failures} launch failures, "
+            f"{fl.total_retries} retries "
+            f"({fl.total_backoff_seconds * 1e3:.1f} ms backoff), "
+            f"{fl.total_requeues} requeues, "
+            f"{fl.total_degraded_rounds} degraded rounds"
+        )
+        for line in fl.summary_lines():
+            add(f"  {line}")
+        if c.faults_injected:
+            add(f"  injected launch faults (harness): {c.faults_injected}")
+        add(
+            "  results are unaffected: retried/requeued iterations are "
+            "idempotent and degraded"
+        )
+        add(
+            "  rounds re-run through the independent bitwise path "
+            "(see docs/resilience.md)."
+        )
+        add("")
+
     if include_model_projection:
         add("calibrated model projection (same workload on real hardware)")
         add(_rule())

@@ -4,7 +4,11 @@ import json
 
 import pytest
 
-from repro.core.checkpoint import SearchCheckpoint, search_fingerprint
+from repro.core.checkpoint import (
+    CHECKPOINT_VERSION,
+    SearchCheckpoint,
+    search_fingerprint,
+)
 from repro.core.reduction import TopKReducer
 from repro.core.search import Epi4TensorSearch, SearchConfig
 from repro.core.solution import Solution
@@ -125,3 +129,102 @@ class TestResume:
             Epi4TensorSearch(ds, SearchConfig(block_size=8)).run(
                 checkpoint_path=path
             )
+
+
+class TestCorruptionRecovery:
+    def _saved(self, path, completed=(0,), twice=False):
+        """Write a checkpoint (optionally twice, so a .bak exists)."""
+        ckpt = SearchCheckpoint(fingerprint=_fingerprint())
+        reducer = TopKReducer(1)
+        reducer.seed([Solution.from_quad((0, 5, 8, 13), 3.0)])
+        for i, wi in enumerate(sorted(completed)):
+            ckpt.record(wi, reducer)
+            if twice or i + 1 == len(completed):
+                ckpt.save(path)
+        return ckpt
+
+    def test_save_writes_version_and_rotates_backup(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        self._saved(path, completed=(0, 1), twice=True)
+        payload = json.loads(path.read_text())
+        assert payload["version"] == CHECKPOINT_VERSION
+        bak = json.loads((tmp_path / "ckpt.json.bak").read_text())
+        assert bak["completed"] == [0]  # previous snapshot
+
+    def test_truncated_file_falls_back_to_backup(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        self._saved(path, completed=(0, 1), twice=True)
+        path.write_text(path.read_text()[:17])  # simulated crash mid-write
+        with pytest.warns(RuntimeWarning, match="corrupted"):
+            loaded = SearchCheckpoint.load(path, _fingerprint())
+        # Committed work is only lost back to the rotated backup.
+        assert loaded.completed == {0}
+        assert loaded.solutions == [Solution.from_quad((0, 5, 8, 13), 3.0)]
+
+    def test_garbled_file_without_backup_starts_fresh(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text("\x00\xffnot json at all")
+        with pytest.warns(RuntimeWarning, match="could not be recovered"):
+            loaded = SearchCheckpoint.load(path, _fingerprint())
+        assert loaded.completed == set()
+        assert loaded.solutions == []
+
+    def test_non_object_json_falls_through(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.warns(RuntimeWarning, match="JSON object"):
+            loaded = SearchCheckpoint.load(path, _fingerprint())
+        assert loaded.completed == set()
+
+    def test_missing_fields_fall_back_to_backup(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        self._saved(path, completed=(0, 1), twice=True)
+        path.write_text(json.dumps({"fingerprint": _fingerprint()}))
+        with pytest.warns(RuntimeWarning, match="malformed"):
+            loaded = SearchCheckpoint.load(path, _fingerprint())
+        assert loaded.completed == {0}
+
+    def test_future_version_refused(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        payload = {
+            "version": CHECKPOINT_VERSION + 1,
+            "fingerprint": _fingerprint(),
+            "completed": [0],
+            "solutions": [],
+        }
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="newer"):
+            SearchCheckpoint.load(path, _fingerprint())
+
+    def test_versionless_file_treated_as_v1(self, tmp_path):
+        # Files written before the version field existed load unchanged.
+        path = tmp_path / "ckpt.json"
+        payload = {
+            "fingerprint": _fingerprint(),
+            "completed": [0, 2],
+            "solutions": [[3.0, Solution.from_quad((0, 5, 8, 13), 3.0).packed]],
+        }
+        path.write_text(json.dumps(payload))
+        loaded = SearchCheckpoint.load(path, _fingerprint())
+        assert loaded.completed == {0, 2}
+        assert loaded.solutions == [Solution.from_quad((0, 5, 8, 13), 3.0)]
+
+    def test_corrupt_backup_and_main_starts_fresh(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        self._saved(path, completed=(0, 1), twice=True)
+        path.write_text("garbage")
+        (tmp_path / "ckpt.json.bak").write_text("also garbage")
+        with pytest.warns(RuntimeWarning, match="could not be recovered"):
+            loaded = SearchCheckpoint.load(path, _fingerprint())
+        assert loaded.completed == set()
+
+    def test_backup_with_wrong_fingerprint_rejected(self, tmp_path):
+        # A fingerprint mismatch is a configuration error, not corruption:
+        # it must surface even when only the backup is readable.
+        path = tmp_path / "ckpt.json"
+        SearchCheckpoint(fingerprint=_fingerprint(block_size=8)).save(path)
+        SearchCheckpoint(fingerprint=_fingerprint(block_size=8)).save(path)
+        path.write_text("garbage")
+        with pytest.warns(RuntimeWarning, match="corrupted"):
+            with pytest.raises(ValueError, match="different search"):
+                SearchCheckpoint.load(path, _fingerprint())

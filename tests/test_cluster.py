@@ -5,7 +5,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.device import A100_SXM4, VirtualCluster
-from repro.device.cluster import schedule_dynamic
+from repro.device.cluster import ScheduleResult, schedule_dynamic
 
 cost_lists = st.lists(st.floats(0.0, 1e6), min_size=1, max_size=60)
 
@@ -78,3 +78,98 @@ class TestVirtualCluster:
 
     def test_repr(self):
         assert "4 x A100 SXM4" in repr(VirtualCluster(A100_SXM4, 4))
+
+
+class TestScheduleResultFromExecuted:
+    def test_matches_replayed_schedule(self):
+        costs = [5.0, 3.0, 2.0, 1.0]
+        replay = schedule_dynamic(costs, 2)
+        executed = ScheduleResult.from_executed(replay.assignment, costs)
+        assert executed.device_loads == replay.device_loads
+        assert executed.makespan == replay.makespan
+        assert executed.total_cost == pytest.approx(sum(costs))
+
+    def test_empty_assignment_lists(self):
+        # A worker that quarantined before taking any work contributes an
+        # empty list; loads and makespan must still be well defined.
+        result = ScheduleResult.from_executed([[0, 1], []], [2.0, 3.0])
+        assert result.device_loads == [5.0, 0.0]
+        assert result.makespan == 5.0
+        assert result.speedup == pytest.approx(1.0)
+
+    def test_no_workers_degenerate(self):
+        result = ScheduleResult.from_executed([], [])
+        assert result.makespan == 0.0
+        assert result.total_cost == 0.0
+        assert result.speedup == 1.0  # 0/0 convention
+
+    def test_zero_cost_iterations(self):
+        result = ScheduleResult.from_executed([[0], [1]], [0.0, 0.0])
+        assert result.device_loads == [0.0, 0.0]
+        assert result.makespan == 0.0
+        assert result.speedup == 1.0
+
+    def test_single_device_degenerate(self):
+        costs = [1.0, 2.0, 4.0]
+        result = ScheduleResult.from_executed([[2, 0, 1]], costs)
+        assert result.makespan == pytest.approx(7.0)
+        assert result.speedup == pytest.approx(1.0)
+
+    def test_partial_assignment_total_counts_assigned_only(self):
+        # from_executed scores what actually ran; an unfinished iteration
+        # simply does not contribute.
+        result = ScheduleResult.from_executed([[0]], [2.0, 100.0])
+        assert result.total_cost == pytest.approx(2.0)
+
+    def test_rejects_duplicate_iteration(self):
+        with pytest.raises(ValueError, match="assigned twice"):
+            ScheduleResult.from_executed([[0, 1], [1]], [1.0, 1.0])
+
+    def test_rejects_duplicate_within_one_worker(self):
+        with pytest.raises(ValueError, match="iteration 0 assigned twice"):
+            ScheduleResult.from_executed([[0, 0]], [1.0])
+
+    def test_rejects_out_of_range_index(self):
+        with pytest.raises(ValueError, match="outside cost table of 2"):
+            ScheduleResult.from_executed([[2]], [1.0, 1.0])
+        with pytest.raises(ValueError, match="outside cost table"):
+            ScheduleResult.from_executed([[-1]], [1.0])
+
+    def test_rejects_negative_costs(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ScheduleResult.from_executed([[0]], [-1.0])
+
+
+class TestClusterQuarantine:
+    def test_quarantine_removes_from_active(self):
+        cluster = VirtualCluster(A100_SXM4, 3)
+        assert cluster.active_gpus == cluster.gpus
+        cluster.quarantine(1)
+        assert cluster.quarantined == {1}
+        assert [g.device_id for g in cluster.active_gpus] == [0, 2]
+
+    def test_quarantine_is_idempotent(self):
+        cluster = VirtualCluster(A100_SXM4, 2)
+        cluster.quarantine(0)
+        cluster.quarantine(0)
+        assert cluster.quarantined == {0}
+
+    def test_reset_restores_all_devices(self):
+        cluster = VirtualCluster(A100_SXM4, 2)
+        cluster.quarantine(0)
+        cluster.quarantine(1)
+        cluster.reset_quarantine()
+        assert cluster.quarantined == set()
+        assert cluster.active_gpus == cluster.gpus
+
+    def test_rejects_unknown_device(self):
+        cluster = VirtualCluster(A100_SXM4, 2)
+        with pytest.raises(ValueError):
+            cluster.quarantine(2)
+        with pytest.raises(ValueError):
+            cluster.quarantine(-1)
+
+    def test_repr_shows_quarantine_count(self):
+        cluster = VirtualCluster(A100_SXM4, 4)
+        cluster.quarantine(3)
+        assert "quarantined" in repr(cluster)

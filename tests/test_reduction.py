@@ -2,7 +2,7 @@
 
 import numpy as np
 
-from repro.core.reduction import reduce_round, reduce_solutions
+from repro.core.reduction import TopKReducer, reduce_round, reduce_solutions
 from repro.core.solution import Solution
 
 
@@ -58,3 +58,53 @@ class TestReduceSolutions:
             Solution.from_quad((0, 1, 2, 3), 1.0),
         ]
         assert reduce_solutions(sols).quad == (0, 1, 2, 3)
+
+
+class TestTopKReducerSeed:
+    def _sols(self, *pairs):
+        return [Solution.from_quad(q, s) for q, s in pairs]
+
+    def test_seed_participates_in_reduction(self):
+        reducer = TopKReducer(2)
+        reducer.seed(
+            self._sols(((0, 1, 2, 3), 2.0), ((4, 5, 6, 7), 1.0))
+        )
+        assert [s.score for s in reducer.result()] == [1.0, 2.0]
+
+    def test_seed_truncates_to_k(self):
+        reducer = TopKReducer(2)
+        reducer.seed(
+            self._sols(
+                ((0, 1, 2, 3), 3.0), ((4, 5, 6, 7), 1.0), ((8, 9, 10, 11), 2.0)
+            )
+        )
+        result = reducer.result()
+        assert len(result) == 2
+        assert [s.score for s in result] == [1.0, 2.0]
+
+    def test_seed_is_idempotent(self):
+        sols = self._sols(((0, 1, 2, 3), 2.0))
+        reducer = TopKReducer(3)
+        reducer.seed(sols)
+        reducer.seed(sols)  # re-seeding the same candidates is harmless
+        assert reducer.result() == sols
+
+    def test_seeded_candidates_compete_with_rounds(self):
+        import numpy as np
+
+        reducer = TopKReducer(1)
+        reducer.seed(self._sols(((9, 10, 11, 12), 1.0)))
+        scores = np.full((2, 2, 2, 2), np.inf)
+        scores[0, 0, 0, 0] = 5.0  # worse than the seeded incumbent
+        reducer.add_round(scores, (0, 4, 8, 12))
+        assert reducer.result()[0].quad == (9, 10, 11, 12)
+
+    def test_from_solutions_constructor(self):
+        sols = self._sols(((0, 1, 2, 3), 2.0), ((4, 5, 6, 7), 1.0))
+        reducer = TopKReducer.from_solutions(1, sols)
+        assert reducer.result() == [sols[1]]
+
+    def test_seed_empty_is_noop(self):
+        reducer = TopKReducer(2)
+        reducer.seed([])
+        assert reducer.result() == []

@@ -86,6 +86,22 @@ def _add_search(sub: argparse._SubParsersAction) -> None:
         "e.g. 'transient:op=tensor4,count=2;persistent:device=1;seed=7' "
         "(results stay bit-identical; see repro.device.faults)",
     )
+    p.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="record the span tree (run/device/outer/round/...) and write "
+        "it as JSONL to this path (enables the tracer; see "
+        "docs/observability.md)",
+    )
+    p.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the run's unified metrics registry as Prometheus "
+        "text exposition to this path",
+    )
+    p.add_argument(
+        "--manifest-out", default=None, metavar="PATH",
+        help="write the deterministic run manifest (config, dataset "
+        "digest, seeds, versions, ranked-solution digest) as JSON",
+    )
 
 
 def _add_predict(sub: argparse._SubParsersAction) -> None:
@@ -169,7 +185,12 @@ def _cmd_search(args: argparse.Namespace) -> int:
     names = dataset.snp_names
     spec = gpu_by_name(args.gpu)
 
+    wants_artifacts = bool(args.trace_out or args.metrics_out or args.manifest_out)
     if args.order in (2, 3):
+        if wants_artifacts:
+            raise SystemExit(
+                "--trace-out/--metrics-out/--manifest-out require --order 4"
+            )
         searcher = search_second_order if args.order == 2 else search_third_order
         kres = searcher(
             dataset, block_size=args.block_size, score=args.score, spec=spec
@@ -194,9 +215,34 @@ def _cmd_search(args: argparse.Namespace) -> int:
             quarantine_after=args.quarantine_after,
             inject_faults=args.inject_faults,
         )
-        result = Epi4TensorSearch(
-            dataset, config, spec=spec, n_gpus=args.n_gpus
-        ).run(checkpoint_path=args.checkpoint)
+        tracer = None
+        if args.trace_out:
+            from repro.obs.trace import Tracer
+
+            tracer = Tracer()
+        search = Epi4TensorSearch(
+            dataset, config, spec=spec, n_gpus=args.n_gpus, tracer=tracer
+        )
+        result = search.run(checkpoint_path=args.checkpoint)
+        if wants_artifacts:
+            from repro.obs.exporters import export_run_artifacts
+            from repro.obs.manifest import build_run_manifest
+
+            manifest = (
+                build_run_manifest(search, result, dataset=dataset)
+                if args.manifest_out
+                else None
+            )
+            written = export_run_artifacts(
+                tracer=tracer,
+                metrics=result.metrics,
+                manifest=manifest,
+                trace_out=args.trace_out,
+                metrics_out=args.metrics_out,
+                manifest_out=args.manifest_out,
+            )
+            for kind, path in sorted(written.items()):
+                print(f"{kind:<9} : written to {path}")
         for rank, sol in enumerate(result.top_solutions, start=1):
             w, x, y, z = sol.quad
             print(f"#{rank}: ({w}, {x}, {y}, {z}) = "

@@ -74,6 +74,23 @@ class CacheStats:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def export_metrics(self, registry) -> None:
+        """Mirror this snapshot into a
+        :class:`~repro.obs.metrics.MetricsRegistry`.
+
+        Emits the ``hits + misses == lookups`` triple the property suite
+        checks, plus eviction/occupancy series.
+        """
+        registry.inc("epi4_cache_lookups_total", self.hits, result="hit")
+        registry.inc("epi4_cache_lookups_total", self.misses, result="miss")
+        registry.inc("epi4_cache_evictions_total", self.evictions)
+        registry.set_gauge("epi4_cache_resident_bytes", self.current_bytes)
+        registry.set_gauge("epi4_cache_peak_bytes", self.peak_bytes)
+        registry.set_gauge(
+            "epi4_cache_capacity_bytes",
+            -1.0 if self.capacity_bytes == UNBOUNDED else self.capacity_bytes,
+        )
+
 
 class _Pending:
     """In-flight computation marker (single-flight)."""

@@ -277,6 +277,36 @@ class FaultLog:
                 for d in self.devices
             )
 
+    def export_metrics(self, registry) -> None:
+        """Mirror resilience accounting into a
+        :class:`~repro.obs.metrics.MetricsRegistry`: per-device
+        attempt/failure/retry/requeue/degraded counters (labeled
+        ``device``), incident totals by action, and backoff time."""
+        with self._lock:
+            for d in self.devices:
+                dev = str(d.device_id)
+                registry.inc("epi4_resilience_attempts_total", d.attempts, device=dev)
+                registry.inc("epi4_resilience_failures_total", d.failures, device=dev)
+                registry.inc("epi4_resilience_retries_total", d.retries, device=dev)
+                registry.inc("epi4_resilience_requeues_total", d.requeues, device=dev)
+                registry.inc(
+                    "epi4_resilience_degraded_rounds_total",
+                    d.degraded_rounds,
+                    device=dev,
+                )
+                registry.inc(
+                    "epi4_resilience_backoff_seconds_total",
+                    d.backoff_seconds,
+                    device=dev,
+                )
+            actions: dict[str, int] = {}
+            for incident in self.incidents:
+                actions[incident.action] = actions.get(incident.action, 0) + 1
+        for action, count in sorted(actions.items()):
+            registry.inc(
+                "epi4_resilience_incidents_total", count, action=action
+            )
+
     def summary_lines(self) -> list[str]:
         """Human-readable per-device summary (report / CLI)."""
         with self._lock:

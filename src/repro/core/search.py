@@ -43,6 +43,7 @@ import random
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
@@ -83,6 +84,8 @@ from repro.device.faults import (
 )
 from repro.device.specs import A100_PCIE, GPUSpec
 from repro.device.virtual_gpu import KernelCounters, VirtualGPU
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.perfmodel.workload import outer_iteration_tensor_ops
 from repro.scoring import make_score
 from repro.scoring.base import ScoreFunction, normalized_for_minimization
@@ -260,10 +263,27 @@ class SearchResult:
     cache_stats: CacheStats | None = None
     executed_assignment: list[list[int]] = field(default_factory=list)
     fault_log: FaultLog | None = None
+    metrics: MetricsRegistry | None = None
 
     @property
     def best_quad(self) -> tuple[int, int, int, int]:
         return self.solution.quad
+
+    @property
+    def phase_seconds_by_device(self) -> dict[str, dict[str, float]]:
+        """``{phase: {device_label: seconds}}`` from the labeled metrics
+        series — per-device attribution that survives threaded workers
+        finishing out of order (empty when no registry was attached)."""
+        if self.metrics is None:
+            return {}
+        out: dict[str, dict[str, float]] = {}
+        for key, value in self.metrics.series(
+            "epi4_phase_seconds_total"
+        ).items():
+            labels = dict(key)
+            phase = labels.get("phase", "")
+            out.setdefault(phase, {})[labels.get("device", "")] = value
+        return out
 
     @property
     def best_score(self) -> float:
@@ -301,14 +321,25 @@ class Epi4TensorSearch:
         *,
         spec: GPUSpec = A100_PCIE,
         n_gpus: int = 1,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.config = config or SearchConfig()
         self.spec = spec
+        #: Observability sinks.  The default no-op tracer keeps the
+        #: instrumented hot paths within noise of an uninstrumented
+        #: build; pass a real :class:`~repro.obs.trace.Tracer` to record
+        #: the span tree.  ``metrics`` defaults to a fresh registry per
+        #: :meth:`run` (a caller-supplied registry accumulates across
+        #: runs instead).
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._user_metrics = metrics
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         encode_timer = Timer()
         if isinstance(dataset, Dataset):
             if dataset.n_snps < 4:
                 raise ValueError(f"need at least 4 SNPs, got {dataset.n_snps}")
-            with encode_timer:
+            with encode_timer, self.tracer.span("encode", dev="host"):
                 encoded = encode_dataset(dataset, block_size=self.config.block_size)
         else:
             encoded = dataset
@@ -358,11 +389,17 @@ class Epi4TensorSearch:
                 score = make_score(score)
         self._score_min = normalized_for_minimization(score)
         self._score_name = score.name
-        self._phase = {
-            name: Timer()
-            for name in ("encode", "pairwise", "combine", "tensor3", "tensor4", "score")
-        }
-        self._phase["encode"].elapsed = encode_timer.elapsed
+        #: Canonical phase names reported in ``SearchResult.phase_seconds``.
+        #: Per-(phase, device) attribution lives in the metrics registry
+        #: as ``epi4_phase_seconds_total{phase=..., device=...}`` — the
+        #: labeled replacement for the former shared ``Timer`` dict, which
+        #: lost per-device attribution when threaded workers finished out
+        #: of order.
+        self._phase_names = (
+            "encode", "pairwise", "combine", "tensor3", "tensor4", "score"
+        )
+        self._encode_seconds = encode_timer.elapsed
+        self._run_span = None
         self._low: LowOrderTables | None = None
         self._progress_callback = None
         self._progress_lock = threading.Lock()
@@ -380,6 +417,43 @@ class Epi4TensorSearch:
         self._injector: FaultInjector | None = None
         self._backoff_rng = random.Random(0)
         self.fault_log = FaultLog.for_devices(self.cluster.n_gpus)
+
+    # ------------------------------------------------------------------ #
+    # Observability plumbing
+
+    @contextmanager
+    def _phase_scope(self, phase: str, device: int | str, span: str | None = None):
+        """Time one phase block: opens a trace span (named ``span``, or the
+        phase name) and charges the elapsed seconds to the labeled
+        ``epi4_phase_seconds_total{phase=..., device=...}`` series.
+
+        Recording at the *call site* under the executing device's label is
+        what makes per-device attribution immune to threaded workers
+        finishing out of order — aggregation over devices happens in the
+        registry, never by summing shared mutable timers.
+
+        The device is recorded as the non-identity ``dev`` tag so phase
+        spans keep their plain documented labels (``combine``, not
+        ``combine[0]``) — the enclosing ``device[d]`` span already carries
+        the identity.
+        """
+        with self.tracer.span(span or phase, dev=device):
+            t0 = time.perf_counter()
+            try:
+                yield
+            finally:
+                self.metrics.inc(
+                    "epi4_phase_seconds_total",
+                    time.perf_counter() - t0,
+                    phase=phase,
+                    device=str(device),
+                )
+
+    def phase_seconds_totals(self) -> dict[str, float]:
+        """Phase wall/busy seconds summed over devices (canonical keys
+        always present)."""
+        by_phase = self.metrics.sum_by("epi4_phase_seconds_total", "phase")
+        return {name: by_phase.get(name, 0.0) for name in self._phase_names}
 
     # ------------------------------------------------------------------ #
 
@@ -431,12 +505,32 @@ class Epi4TensorSearch:
                 ),
             )
 
+        if self._user_metrics is None:
+            # Fresh registry per run: repeat run() calls stay independent.
+            self.metrics = MetricsRegistry()
+        self.metrics.inc(
+            "epi4_phase_seconds_total",
+            self._encode_seconds,
+            phase="encode",
+            device="host",
+        )
         total_timer = Timer()
-        with total_timer:
-            self._reset_resilience()
-            schedule = self._make_schedule()
-            self._prepare_devices()
-            self._cache = OperandCache.create(self.config.cache_mb)
+        run_span = self.tracer.span(
+            "run",
+            engine=self.cluster.gpus[0].engine.name,
+            n_devices=self.cluster.n_gpus,
+            partition=self.config.partition,
+        )
+        # Kept for explicit cross-thread parenting: the parallel path's
+        # per-worker device spans open on worker threads whose span stacks
+        # are empty, so they name this span as their parent directly.
+        self._run_span = run_span
+        with total_timer, run_span:
+            with self.tracer.span("prepare"):
+                self._reset_resilience()
+                schedule = self._make_schedule()
+                self._prepare_devices()
+                self._cache = OperandCache.create(self.config.cache_mb)
             reducer = TopKReducer(self.config.top_k)
             self._global_reducer = reducer
             done: set[int] = set()
@@ -448,7 +542,8 @@ class Epi4TensorSearch:
             commit_lock = threading.Lock()
 
             def run_iteration(executor, wi: int) -> None:
-                local = self._run_rounds(executor, [wi])
+                with self.tracer.span("outer", wi=wi, dev=executor.device_id):
+                    local = self._run_rounds(executor, [wi])
                 with commit_lock:
                     reducer.merge(local)
                     executed[executor.device_id].append(wi)
@@ -464,13 +559,21 @@ class Epi4TensorSearch:
                     self._run_sequential(schedule, done, run_iteration)
                 else:
                     self._run_parallel(n_workers, done, run_iteration)
-            top = reducer.result()
+            with self.tracer.span("reduce"):
+                top = reducer.result()
             solution = top[0] if top else reduce_solutions([])
 
         merged = KernelCounters()
         for gpu in self.cluster.gpus:
             merged.merge(gpu.counters)
-        return SearchResult(
+        # Absorb every accounting source into the unified registry as
+        # device-labeled series (the final, deterministic snapshot).
+        self.cluster.export_metrics(self.metrics)
+        if self._cache is not None:
+            self._cache.stats.export_metrics(self.metrics)
+        self.fault_log.export_metrics(self.metrics)
+        self.metrics.set_gauge("epi4_wall_seconds", total_timer.elapsed)
+        result = SearchResult(
             solution=solution,
             top_solutions=top,
             block_scheme=self.scheme,
@@ -478,7 +581,7 @@ class Epi4TensorSearch:
             per_device_counters=[gpu.counters for gpu in self.cluster.gpus],
             schedule=schedule,
             executed_assignment=executed,
-            phase_seconds={name: t.elapsed for name, t in self._phase.items()},
+            phase_seconds=self.phase_seconds_totals(),
             wall_seconds=total_timer.elapsed,
             n_samples=self.encoded.n_samples,
             cache_stats=self._cache.stats if self._cache is not None else None,
@@ -486,7 +589,12 @@ class Epi4TensorSearch:
             spec_name=self.spec.name,
             engine_name=self.cluster.gpus[0].engine.name,
             n_devices=self.cluster.n_gpus,
+            metrics=self.metrics,
         )
+        self.metrics.set_gauge(
+            "epi4_quads_per_second_scaled", result.quads_per_second_scaled
+        )
+        return result
 
     # ------------------------------------------------------------------ #
     # Phases
@@ -577,31 +685,33 @@ class Epi4TensorSearch:
         }
         deferred: list[int] = []
         for gpu, outer_iters in zip(self.cluster.gpus, schedule.assignment):
-            for wi in outer_iters:
-                if wi in done:
-                    continue
-                if gpu.device_id in self.cluster.quarantined:
-                    deferred.append(wi)
-                    continue
-                fault = self._with_retries(
-                    gpu.device_id,
-                    wi,
-                    lambda e=executors[gpu.device_id], w=wi: run_iteration(e, w),
-                )
-                if fault is not None:
-                    self._note_exhausted(gpu.device_id, wi, fault)
-                    deferred.append(wi)
+            with self.tracer.span("device", device=gpu.device_id):
+                for wi in outer_iters:
+                    if wi in done:
+                        continue
+                    if gpu.device_id in self.cluster.quarantined:
+                        deferred.append(wi)
+                        continue
+                    fault = self._with_retries(
+                        gpu.device_id,
+                        wi,
+                        lambda e=executors[gpu.device_id], w=wi: run_iteration(e, w),
+                    )
+                    if fault is not None:
+                        self._note_exhausted(gpu.device_id, wi, fault)
+                        deferred.append(wi)
         for wi in deferred:
             committed = False
             last: DeviceFault | None = None
             for gpu in self.cluster.gpus:
                 if gpu.device_id in self.cluster.quarantined:
                     continue
-                fault = self._with_retries(
-                    gpu.device_id,
-                    wi,
-                    lambda e=executors[gpu.device_id], w=wi: run_iteration(e, w),
-                )
+                with self.tracer.span("device", device=gpu.device_id):
+                    fault = self._with_retries(
+                        gpu.device_id,
+                        wi,
+                        lambda e=executors[gpu.device_id], w=wi: run_iteration(e, w),
+                    )
                 if fault is None:
                     committed = True
                     break
@@ -624,18 +734,19 @@ class Epi4TensorSearch:
             [self._wrap_gpu(gpu) for gpu in self.cluster.gpus],
             self._cache,
         )
-        for wi in range(self.scheme.nb):
-            if wi in done:
-                continue
-            fault = self._with_retries(
-                executor.device_id, wi, lambda w=wi: run_iteration(executor, w)
-            )
-            if fault is not None:
-                raise SearchAbortedError(
-                    f"outer iteration {wi} exhausted its retries under the "
-                    f"'samples' partition ({fault}); every device's sample "
-                    "chunk is required per round, so no requeue is possible"
+        with self.tracer.span("device", device=executor.device_id):
+            for wi in range(self.scheme.nb):
+                if wi in done:
+                    continue
+                fault = self._with_retries(
+                    executor.device_id, wi, lambda w=wi: run_iteration(executor, w)
                 )
+                if fault is not None:
+                    raise SearchAbortedError(
+                        f"outer iteration {wi} exhausted its retries under the "
+                        f"'samples' partition ({fault}); every device's sample "
+                        "chunk is required per round, so no requeue is possible"
+                    )
 
     def _run_parallel(self, n_workers: int, done: set[int], run_iteration) -> None:
         """One worker thread per device, pulling outer iterations from a
@@ -659,19 +770,22 @@ class Epi4TensorSearch:
             dev = gpu.device_id
             queue.register(dev)
             try:
-                while True:
-                    wi = queue.get(dev)
-                    if wi is None:
-                        return
-                    fault = self._with_retries(
-                        dev, wi, lambda w=wi: run_iteration(executor, w)
-                    )
-                    if fault is None:
-                        queue.done(wi)
-                        continue
-                    queue.requeue(wi, dev)
-                    if self._note_exhausted(dev, wi, fault):
-                        return  # quarantined
+                with self.tracer.span(
+                    "device", parent_span=self._run_span, device=dev
+                ):
+                    while True:
+                        wi = queue.get(dev)
+                        if wi is None:
+                            return
+                        fault = self._with_retries(
+                            dev, wi, lambda w=wi: run_iteration(executor, w)
+                        )
+                        if fault is None:
+                            queue.done(wi)
+                            continue
+                        queue.requeue(wi, dev)
+                        if self._note_exhausted(dev, wi, fault):
+                            return  # quarantined
             finally:
                 queue.unregister(dev)
 
@@ -713,7 +827,7 @@ class Epi4TensorSearch:
         even receive the dataset is quarantined up front (the search
         proceeds on the survivors, or aborts if none remain).
         """
-        with self._phase["pairwise"]:
+        with self._phase_scope("pairwise", "host"):
             self._low = pairw_pop(self.encoded)
         m, n = self.encoded.n_snps, self.encoded.n_samples
 
@@ -765,31 +879,51 @@ class Epi4TensorSearch:
                     sweep_xy = [executor.sweep3(c, xo, yo) for c in (0, 1)]
                     for zi in range(yi, nb):
                         zo = zi * b
-                        yz = [executor.combine(c, yo, zo) for c in (0, 1)]
-                        corner4 = [
-                            executor.gemm4(wx[c], yz[c], c) for c in (0, 1)
-                        ]
-                        operands = RoundOperands(
-                            corner4=(corner4[0], corner4[1]),
-                            corner3_wxy=tuple(
-                                s[:, :, yo - xo : yo - xo + b] for s in sweep_wx
-                            ),
-                            corner3_wxz=tuple(
-                                s[:, :, zo - xo : zo - xo + b] for s in sweep_wx
-                            ),
-                            corner3_wyz=tuple(
-                                s[:, :, zo - yo : zo - yo + b] for s in sweep_wy
-                            ),
-                            corner3_xyz=tuple(
-                                s[:, :, zo - yo : zo - yo + b] for s in sweep_xy
-                            ),
-                            offsets=(wo, xo, yo, zo),
-                            block_size=b,
+                        round_t0 = time.perf_counter()
+                        with self.tracer.span(
+                            "round", wi=wi, xi=xi, yi=yi, zi=zi
+                        ):
+                            yz = [executor.combine(c, yo, zo) for c in (0, 1)]
+                            corner4 = [
+                                executor.gemm4(wx[c], yz[c], c) for c in (0, 1)
+                            ]
+                            operands = RoundOperands(
+                                corner4=(corner4[0], corner4[1]),
+                                corner3_wxy=tuple(
+                                    s[:, :, yo - xo : yo - xo + b]
+                                    for s in sweep_wx
+                                ),
+                                corner3_wxz=tuple(
+                                    s[:, :, zo - xo : zo - xo + b]
+                                    for s in sweep_wx
+                                ),
+                                corner3_wyz=tuple(
+                                    s[:, :, zo - yo : zo - yo + b]
+                                    for s in sweep_wy
+                                ),
+                                corner3_xyz=tuple(
+                                    s[:, :, zo - yo : zo - yo + b]
+                                    for s in sweep_xy
+                                ),
+                                offsets=(wo, xo, yo, zo),
+                                block_size=b,
+                            )
+                            scores = self._score_round(executor, operands)
+                            with self._phase_scope(
+                                "score", executor.device_id, span="score"
+                            ):
+                                executor.account_score(b**4 * 81 * 2)
+                            with self._phase_scope(
+                                "score", executor.device_id, span="reduce"
+                            ):
+                                reducer.add_round(scores, operands.offsets)
+                        dev = str(executor.device_id)
+                        self.metrics.inc("epi4_rounds_total", device=dev)
+                        self.metrics.observe(
+                            "epi4_round_seconds",
+                            time.perf_counter() - round_t0,
+                            device=dev,
                         )
-                        scores = self._score_round(executor, operands)
-                        with self._phase["score"]:
-                            executor.account_score(b**4 * 81 * 2)
-                            reducer.add_round(scores, operands.offsets)
                         if self._progress_callback is not None:
                             with self._progress_lock:
                                 self._rounds_done += 1
@@ -827,7 +961,7 @@ class Epi4TensorSearch:
                 validate_round_corners(
                     operands, self.encoded.n_controls, self.encoded.n_cases
                 )
-            with self._phase["score"]:
+            with self._phase_scope("score", executor.device_id, span="derive"):
                 scores = apply_score(
                     operands,
                     self._low.pairs,
@@ -853,7 +987,7 @@ class Epi4TensorSearch:
         safe = direct_round_operands(
             self.encoded, operands.offsets, operands.block_size
         )
-        with self._phase["score"]:
+        with self._phase_scope("score", executor.device_id, span="derive"):
             scores = apply_score(
                 safe,
                 self._low.pairs,
@@ -904,7 +1038,13 @@ class _SingleDeviceExecutor:
     # -- combine -------------------------------------------------------- #
 
     def combine(self, cls: int, off_a: int, off_b: int) -> BitMatrix:
+        metrics = self._search.metrics
+        dev = str(self.device_id)
+        metrics.inc("epi4_operand_requests_total", kind="combine", device=dev)
         if self._cache is None:
+            metrics.inc(
+                "epi4_operand_executed_total", kind="combine", device=dev
+            )
             return self._combine_cold(cls, off_a, off_b)
         value, hit, evicted = self._cache.get_or_compute(
             ("combine", cls, off_a, off_b),
@@ -912,10 +1052,17 @@ class _SingleDeviceExecutor:
             nbytes=lambda bm: bm.nbytes,
         )
         self._gpu.counters.record_cache(hit, evicted)
+        metrics.inc(
+            "epi4_operand_cache_served_total"
+            if hit
+            else "epi4_operand_executed_total",
+            kind="combine",
+            device=dev,
+        )
         return value
 
     def _combine_cold(self, cls: int, off_a: int, off_b: int) -> BitMatrix:
-        with self._search._phase["combine"]:
+        with self._search._phase_scope("combine", self.device_id):
             return self._gpu.launch_combine(
                 self._planes[cls], off_a, off_b, self._search.scheme.block_size
             )
@@ -928,20 +1075,38 @@ class _SingleDeviceExecutor:
         """Third-order corner sweep of the ``(off_a, off_b)`` pair over the
         tail ``[off_b, M)`` (the tail always starts at the second block —
         what makes the sweep cacheable by pair alone)."""
+        metrics = self._search.metrics
+        dev = str(self.device_id)
+        metrics.inc("epi4_operand_requests_total", kind="sweep", device=dev)
         if self._cache is None:
+            metrics.inc(
+                "epi4_operand_executed_total", kind="sweep", device=dev
+            )
             if combined is None:
                 combined = self._combine_cold(cls, off_a, off_b)
             return self._gemm3(combined, cls, off_b)
+        # The factory deliberately ignores the in-hand ``combined``
+        # operand and resolves the pair through the cache instead: its
+        # work must be a function of the *key* alone.  Were it to depend
+        # on whether the caller happened to pass ``combined``, the
+        # executed combine volume (and the cache hit/miss totals) would
+        # depend on which concurrent request wins the single-flight miss
+        # — breaking the order-invariance the golden metrics comparison
+        # (sequential vs threaded) relies on.
         value, hit, evicted = self._cache.get_or_compute(
             ("sweep", cls, off_a, off_b),
             lambda: self._gemm3(
-                combined if combined is not None
-                else self.combine(cls, off_a, off_b),
-                cls,
-                off_b,
+                self.combine(cls, off_a, off_b), cls, off_b
             ),
         )
         self._gpu.counters.record_cache(hit, evicted)
+        metrics.inc(
+            "epi4_operand_cache_served_total"
+            if hit
+            else "epi4_operand_executed_total",
+            kind="sweep",
+            device=dev,
+        )
         return value
 
     def _gemm3(self, combined: BitMatrix, cls: int, t_start: int) -> np.ndarray:
@@ -949,7 +1114,7 @@ class _SingleDeviceExecutor:
         t_stop = self._search.scheme.n_snps
         chunk = self._search.config.sample_chunk_bits
         planes = self._planes[cls]
-        with self._search._phase["tensor3"]:
+        with self._search._phase_scope("tensor3", self.device_id):
             if chunk is None or chunk >= combined.n_bits:
                 return self._gpu.launch_tensor3(
                     combined, planes, t_start, t_stop, b
@@ -970,7 +1135,7 @@ class _SingleDeviceExecutor:
     def gemm4(self, wx: BitMatrix, yz: BitMatrix, cls: int) -> np.ndarray:
         b = self._search.scheme.block_size
         chunk = self._search.config.sample_chunk_bits
-        with self._search._phase["tensor4"]:
+        with self._search._phase_scope("tensor4", self.device_id):
             if chunk is None or chunk >= wx.n_bits:
                 return self._gpu.launch_tensor4(wx, yz, b)
             total: np.ndarray | None = None
@@ -1025,7 +1190,13 @@ class _SamplePartitionExecutor:
         return list(zip(self._gpus, chunks))
 
     def combine(self, cls: int, off_a: int, off_b: int) -> list[BitMatrix]:
+        metrics = self._search.metrics
+        dev = str(self.device_id)
+        metrics.inc("epi4_operand_requests_total", kind="combine", device=dev)
         if self._cache is None:
+            metrics.inc(
+                "epi4_operand_executed_total", kind="combine", device=dev
+            )
             return self._combine_cold(cls, off_a, off_b)
         value, hit, evicted = self._cache.get_or_compute(
             ("combine", cls, off_a, off_b),
@@ -1033,11 +1204,18 @@ class _SamplePartitionExecutor:
             nbytes=lambda chunks: sum(c.nbytes for c in chunks),
         )
         self._gpus[0].counters.record_cache(hit, evicted)
+        metrics.inc(
+            "epi4_operand_cache_served_total"
+            if hit
+            else "epi4_operand_executed_total",
+            kind="combine",
+            device=dev,
+        )
         return value
 
     def _combine_cold(self, cls: int, off_a: int, off_b: int) -> list[BitMatrix]:
         b = self._search.scheme.block_size
-        with self._search._phase["combine"]:
+        with self._search._phase_scope("combine", self.device_id):
             return [
                 gpu.launch_combine(chunk, off_a, off_b, b)
                 for gpu, chunk in self._active(cls)
@@ -1050,20 +1228,33 @@ class _SamplePartitionExecutor:
         off_b: int,
         combined: list[BitMatrix] | None = None,
     ) -> np.ndarray:
+        metrics = self._search.metrics
+        dev = str(self.device_id)
+        metrics.inc("epi4_operand_requests_total", kind="sweep", device=dev)
         if self._cache is None:
+            metrics.inc(
+                "epi4_operand_executed_total", kind="sweep", device=dev
+            )
             if combined is None:
                 combined = self._combine_cold(cls, off_a, off_b)
             return self._gemm3(combined, cls, off_b)
+        # Key-determined factory (in-hand ``combined`` ignored) — keeps
+        # lookup/launch totals order-invariant; see the single-device
+        # executor for the full rationale.
         value, hit, evicted = self._cache.get_or_compute(
             ("sweep", cls, off_a, off_b),
             lambda: self._gemm3(
-                combined if combined is not None
-                else self.combine(cls, off_a, off_b),
-                cls,
-                off_b,
+                self.combine(cls, off_a, off_b), cls, off_b
             ),
         )
         self._gpus[0].counters.record_cache(hit, evicted)
+        metrics.inc(
+            "epi4_operand_cache_served_total"
+            if hit
+            else "epi4_operand_executed_total",
+            kind="sweep",
+            device=dev,
+        )
         return value
 
     def _gemm3(
@@ -1071,7 +1262,7 @@ class _SamplePartitionExecutor:
     ) -> np.ndarray:
         b = self._search.scheme.block_size
         t_stop = self._search.scheme.n_snps
-        with self._search._phase["tensor3"]:
+        with self._search._phase_scope("tensor3", self.device_id):
             total: np.ndarray | None = None
             for (gpu, planes_chunk), combined_chunk in zip(
                 self._active(cls), combined
@@ -1087,7 +1278,7 @@ class _SamplePartitionExecutor:
         self, wx: list[BitMatrix], yz: list[BitMatrix], cls: int
     ) -> np.ndarray:
         b = self._search.scheme.block_size
-        with self._search._phase["tensor4"]:
+        with self._search._phase_scope("tensor4", self.device_id):
             total: np.ndarray | None = None
             for (gpu, _), wx_chunk, yz_chunk in zip(self._active(cls), wx, yz):
                 part = gpu.launch_tensor4(wx_chunk, yz_chunk, b)

@@ -159,6 +159,18 @@ class VirtualCluster:
         """Dynamic-schedule the outer iterations across this cluster."""
         return schedule_dynamic(costs, self.n_gpus)
 
+    def export_metrics(self, registry) -> None:
+        """Mirror every device's kernel counters (and quarantine state)
+        into a :class:`~repro.obs.metrics.MetricsRegistry` as
+        ``device``-labeled series."""
+        for gpu in self.gpus:
+            gpu.counters.export_metrics(registry, gpu.device_id)
+            registry.set_gauge(
+                "epi4_device_quarantined",
+                1.0 if gpu.device_id in self.quarantined else 0.0,
+                device=str(gpu.device_id),
+            )
+
     def __repr__(self) -> str:
         state = (
             f", {len(self.quarantined)} quarantined" if self.quarantined else ""

@@ -96,6 +96,37 @@ class KernelCounters:
     def total_tensor_ops_padded(self) -> int:
         return sum(self.tensor_ops_padded.values())
 
+    def export_metrics(self, registry, device: int | str) -> None:
+        """Mirror these counters into a
+        :class:`~repro.obs.metrics.MetricsRegistry` as labeled series.
+
+        Every series carries a ``device`` label, so multi-device
+        aggregation happens in the registry (grouped, never inferred
+        from completion order) — the labeled replacement for summing
+        ad-hoc per-device structs.
+        """
+        dev = str(device)
+        for kernel in self.tensor_ops_raw:
+            registry.inc(
+                "epi4_tensor_ops_total",
+                self.tensor_ops_raw[kernel],
+                form="raw", kernel=kernel, device=dev,
+            )
+            registry.inc(
+                "epi4_tensor_ops_total",
+                self.tensor_ops_padded[kernel],
+                form="padded", kernel=kernel, device=dev,
+            )
+        registry.inc("epi4_combine_bit_ops_total", self.combine_bit_ops, device=dev)
+        registry.inc("epi4_pairwise_ops_total", self.pairwise_ops, device=dev)
+        registry.inc("epi4_score_cells_total", self.score_cells, device=dev)
+        registry.inc("epi4_transfer_bytes_total", self.transfer_bytes, device=dev)
+        registry.inc("epi4_faults_injected_total", self.faults_injected, device=dev)
+        for kernel, count in self.launches.items():
+            registry.inc(
+                "epi4_kernel_launches_total", count, kernel=kernel, device=dev
+            )
+
     def merge(self, other: "KernelCounters") -> None:
         """Accumulate another device's counters into this one."""
         for key in other.tensor_ops_raw:

@@ -1,0 +1,91 @@
+"""File exporters for the observability artifacts.
+
+Three machine-checkable artifacts per run:
+
+- **JSONL trace** (``--trace-out``): one span per line, canonical
+  (path-sorted) order, schema defined by
+  :meth:`repro.obs.trace.SpanRecord.to_dict`.
+- **Prometheus text metrics** (``--metrics-out``): the standard text
+  exposition format, series sorted, scrape-ready.
+- **Run manifest** (``--manifest-out``): canonical JSON, byte-identical
+  across repeated runs of the same configuration (the reproducibility
+  contract — see :mod:`repro.obs.manifest`).
+
+All writers are atomic-ish (write then ``os.replace``) so a crashed run
+never leaves a half-written artifact behind.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Iterable
+
+from repro.obs.manifest import RunManifest
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import SpanRecord, Tracer, trace_lines
+
+__all__ = [
+    "write_trace",
+    "write_metrics",
+    "write_manifest",
+    "export_run_artifacts",
+]
+
+
+def _atomic_write(path: str | os.PathLike, text: str) -> str:
+    path = os.fspath(path)
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8", newline="\n") as fh:
+        fh.write(text)
+    os.replace(tmp, path)
+    return path
+
+
+def write_trace(
+    path: str | os.PathLike,
+    source: Tracer | Iterable[SpanRecord],
+    *,
+    normalized: bool = False,
+) -> str:
+    """Write a JSONL trace file; returns the path written."""
+    records = source.records() if isinstance(source, Tracer) else list(source)
+    lines = trace_lines(records, normalized=normalized)
+    return _atomic_write(path, "\n".join(lines) + ("\n" if lines else ""))
+
+
+def write_metrics(path: str | os.PathLike, registry: MetricsRegistry) -> str:
+    """Write Prometheus text-format metrics; returns the path written."""
+    return _atomic_write(path, registry.to_prometheus())
+
+
+def write_manifest(path: str | os.PathLike, manifest: RunManifest) -> str:
+    """Write the canonical-JSON manifest; returns the path written."""
+    return _atomic_write(path, manifest.to_json())
+
+
+def export_run_artifacts(
+    *,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
+    manifest: RunManifest | None = None,
+    trace_out: str | None = None,
+    metrics_out: str | None = None,
+    manifest_out: str | None = None,
+) -> dict[str, str]:
+    """Write whichever artifacts were requested; returns name -> path."""
+    written: dict[str, Any] = {}
+    if trace_out:
+        if tracer is None:
+            raise ValueError("trace_out requested but no tracer provided")
+        written["trace"] = write_trace(trace_out, tracer)
+    if metrics_out:
+        if metrics is None:
+            raise ValueError("metrics_out requested but no registry provided")
+        written["metrics"] = write_metrics(metrics_out, metrics)
+    if manifest_out:
+        if manifest is None:
+            raise ValueError("manifest_out requested but no manifest provided")
+        written["manifest"] = write_manifest(manifest_out, manifest)
+    return written

@@ -94,6 +94,60 @@ def format_search_report(
     add(f"  kernel launches     : {kernel_counts}")
     add("")
 
+    if result.cache_stats is not None:
+        cs = result.cache_stats
+        cap = (
+            "unbounded"
+            if cs.capacity_bytes == float("inf")
+            else f"{cs.capacity_bytes / 1e6:.1f} MB"
+        )
+        add("round-operand cache")
+        add(_rule())
+        add(
+            f"  lookups    : {cs.hits + cs.misses} "
+            f"({cs.hits} hits / {cs.misses} misses, "
+            f"{100 * cs.hit_rate:.1f}% hit rate)"
+        )
+        add(
+            f"  evictions  : {cs.evictions}   "
+            f"resident {cs.current_bytes / 1e6:.1f} MB, "
+            f"peak {cs.peak_bytes / 1e6:.1f} MB (budget {cap})"
+        )
+        add("")
+
+    if result.metrics is not None:
+        add("observability (per-device attribution)")
+        add(_rule())
+        by_device = result.phase_seconds_by_device
+        devices = sorted({d for per in by_device.values() for d in per})
+        add("  phase seconds by device (recorded at the launch site;")
+        add("  immune to threaded out-of-order completion):")
+        for phase in sorted(by_device):
+            cells = "  ".join(
+                f"dev {d}: {by_device[phase].get(d, 0.0):8.3f}s"
+                for d in devices
+                if d in by_device[phase]
+            )
+            add(f"    {phase:<10s} {cells}")
+        m = result.metrics
+        rounds = m.sum_by("epi4_rounds_total", "device")
+        if rounds:
+            add(
+                "  rounds by device    : "
+                + ", ".join(
+                    f"dev {d}: {int(n)}" for d, n in sorted(rounds.items())
+                )
+            )
+        requests = m.total("epi4_operand_requests_total")
+        if requests:
+            executed = m.total("epi4_operand_executed_total")
+            served = m.total("epi4_operand_cache_served_total")
+            add(
+                f"  operand requests    : {int(requests)} = "
+                f"{int(executed)} executed + {int(served)} cache-served"
+            )
+        add("")
+
     if result.fault_log is not None and result.fault_log.any_activity:
         fl = result.fault_log
         add("resilience (faults observed this run)")

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, settings
@@ -9,14 +11,23 @@ from hypothesis import HealthCheck, settings
 from repro.datasets import Dataset, generate_random_dataset
 
 # Single-core CI-friendly hypothesis profile: enough examples to matter,
-# bounded runtime.
+# bounded runtime.  A deeper profile is available for scheduled fuzz jobs
+# via ``EPI4TENSOR_HYPOTHESIS_PROFILE=deep``.
 settings.register_profile(
     "repro",
     max_examples=40,
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )
-settings.load_profile("repro")
+settings.register_profile(
+    "deep",
+    max_examples=300,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(
+    os.environ.get("EPI4TENSOR_HYPOTHESIS_PROFILE", "repro")
+)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,263 @@
+"""Unit tests for the span tracer (repro.obs.trace)."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    normalize_records,
+    span_tree_shape,
+    trace_lines,
+)
+
+
+class TestSpanBasics:
+    def test_single_span_record_fields(self):
+        tr = Tracer()
+        with tr.span("run", engine="and_popc"):
+            pass
+        (rec,) = tr.records()
+        assert rec.name == "run"
+        assert rec.label == "run"
+        assert rec.path == "run#0"
+        assert rec.depth == 0
+        assert rec.parent_id is None
+        assert rec.tags == {"engine": "and_popc"}
+        assert rec.duration >= 0.0
+        assert rec.thread_id == threading.get_ident()
+
+    def test_identity_tags_become_label(self):
+        tr = Tracer()
+        with tr.span("round", wi=1, xi=2, yi=3, zi=4, extra="meta"):
+            pass
+        (rec,) = tr.records()
+        assert rec.label == "round[1,2,3,4]"
+        assert rec.tags["extra"] == "meta"
+        # non-identity tags stay out of the label
+        assert "meta" not in rec.label
+
+    def test_device_identity_tag(self):
+        tr = Tracer()
+        with tr.span("device", device=3):
+            pass
+        (rec,) = tr.records()
+        assert rec.label == "device[3]"
+
+    def test_nesting_paths_and_depths(self):
+        tr = Tracer()
+        with tr.span("run"):
+            with tr.span("device", device=0):
+                with tr.span("outer", wi=2):
+                    pass
+        paths = span_tree_shape(tr.records())
+        assert paths == [
+            "run#0",
+            "run#0/device[0]#0",
+            "run#0/device[0]#0/outer[2]#0",
+        ]
+        by_path = {r.path: r for r in tr.records()}
+        assert by_path["run#0"].depth == 0
+        assert by_path["run#0/device[0]#0"].depth == 1
+        assert by_path["run#0/device[0]#0/outer[2]#0"].depth == 2
+
+    def test_sibling_occurrence_indices(self):
+        tr = Tracer()
+        with tr.span("run"):
+            with tr.span("combine"):
+                pass
+            with tr.span("combine"):
+                pass
+            with tr.span("tensor4"):
+                pass
+        paths = span_tree_shape(tr.records())
+        assert "run#0/combine#0" in paths
+        assert "run#0/combine#1" in paths
+        assert "run#0/tensor4#0" in paths
+
+    def test_root_occurrence_indices(self):
+        tr = Tracer()
+        with tr.span("run"):
+            pass
+        with tr.span("run"):
+            pass
+        assert span_tree_shape(tr.records()) == ["run#0", "run#1"]
+
+    def test_set_tag_while_open(self):
+        tr = Tracer()
+        with tr.span("run") as sp:
+            sp.set_tag("aborted", True)
+        (rec,) = tr.records()
+        assert rec.tags["aborted"] is True
+
+    def test_parent_ids_link_tree(self):
+        tr = Tracer()
+        with tr.span("a"):
+            with tr.span("b"):
+                pass
+        recs = {r.name: r for r in tr.records()}
+        assert recs["b"].parent_id == recs["a"].span_id
+
+    def test_current_returns_innermost(self):
+        tr = Tracer()
+        assert tr.current() is None
+        with tr.span("a"):
+            with tr.span("b") as sp:
+                assert tr.current() is sp
+        assert tr.current() is None
+
+    def test_clear_resets_everything(self):
+        tr = Tracer()
+        with tr.span("a"):
+            pass
+        tr.clear()
+        assert tr.records() == []
+        with tr.span("a"):
+            pass
+        assert span_tree_shape(tr.records()) == ["a#0"]
+
+    def test_exception_still_records_span(self):
+        tr = Tracer()
+        with pytest.raises(RuntimeError):
+            with tr.span("run"):
+                with tr.span("round", wi=0, xi=0, yi=0, zi=0):
+                    raise RuntimeError("boom")
+        assert span_tree_shape(tr.records()) == [
+            "run#0",
+            "run#0/round[0,0,0,0]#0",
+        ]
+
+
+class TestThreading:
+    def test_per_thread_stacks_are_independent(self):
+        tr = Tracer()
+        barrier = threading.Barrier(2)
+
+        def worker(device: int) -> None:
+            with tr.span("device", device=device):
+                barrier.wait()  # both spans open concurrently
+                with tr.span("outer", wi=device):
+                    pass
+
+        threads = [threading.Thread(target=worker, args=(d,)) for d in (0, 1)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        paths = span_tree_shape(tr.records())
+        assert "device[0]#0" in paths
+        assert "device[1]#0" in paths
+        assert "device[0]#0/outer[0]#0" in paths
+        assert "device[1]#0/outer[1]#0" in paths
+
+    def test_explicit_cross_thread_parenting(self):
+        tr = Tracer()
+        with tr.span("run") as run_span:
+
+            def worker(device: int) -> None:
+                with tr.span("device", parent_span=run_span, device=device):
+                    with tr.span("outer", wi=device):
+                        pass
+
+            threads = [
+                threading.Thread(target=worker, args=(d,)) for d in (0, 1)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        paths = span_tree_shape(tr.records())
+        assert "run#0/device[0]#0" in paths
+        assert "run#0/device[1]#0" in paths
+        assert "run#0/device[0]#0/outer[0]#0" in paths
+
+    def test_records_are_thread_tagged(self):
+        tr = Tracer()
+        ids = {}
+
+        def worker() -> None:
+            with tr.span("device", device=9):
+                ids["worker"] = threading.get_ident()
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        (rec,) = tr.records()
+        assert rec.thread_id == ids["worker"]
+        assert rec.thread_id != threading.get_ident()
+
+
+class TestNullTracer:
+    def test_null_span_is_shared_noop(self):
+        nt = NullTracer()
+        a = nt.span("run", device=1)
+        b = nt.span("round", parent_span=a, wi=0)
+        assert a is b  # singleton
+        with a:
+            a.set_tag("k", "v")
+        assert nt.records() == []
+        assert nt.current() is None
+        nt.clear()
+
+    def test_enabled_flags(self):
+        assert Tracer.enabled is True
+        assert NullTracer.enabled is False
+        assert NULL_TRACER.enabled is False
+
+
+class TestExport:
+    def _tracer(self) -> Tracer:
+        tr = Tracer()
+        with tr.span("run"):
+            with tr.span("device", device=0):
+                with tr.span("round", wi=0, xi=0, yi=0, zi=1):
+                    pass
+        return tr
+
+    def test_trace_lines_are_json(self):
+        lines = trace_lines(self._tracer().records())
+        assert len(lines) == 3
+        for line in lines:
+            d = json.loads(line)
+            assert set(d) == {
+                "span_id", "parent_id", "name", "label", "path", "depth",
+                "tags", "thread_id", "wall_start", "start_monotonic",
+                "duration",
+            }
+
+    def test_normalized_lines_identical_across_runs(self):
+        a = trace_lines(self._tracer().records(), normalized=True)
+        b = trace_lines(self._tracer().records(), normalized=True)
+        assert a == b
+
+    def test_normalize_zeroes_nondeterministic_fields(self):
+        (rec,) = [
+            r for r in self._tracer().records() if r.name == "round"
+        ]
+        (norm,) = normalize_records([rec])
+        assert norm["duration"] == 0.0
+        assert norm["wall_start"] == 0.0
+        assert norm["start_monotonic"] == 0.0
+        assert norm["thread_id"] == 0
+        assert norm["span_id"] == 0
+        assert norm["parent_id"] == 0  # non-root keeps non-None marker
+        assert norm["path"] == "run#0/device[0]#0/round[0,0,0,1]#0"
+
+    def test_normalize_keeps_root_parent_none(self):
+        recs = self._tracer().records()
+        norm = normalize_records(recs)
+        roots = [d for d in norm if d["depth"] == 0]
+        assert all(d["parent_id"] is None for d in roots)
+
+    def test_records_sorted_by_path(self):
+        tr = Tracer()
+        with tr.span("b"):
+            pass
+        with tr.span("a"):
+            pass
+        assert [r.path for r in tr.records()] == ["a#0", "b#0"]

@@ -1,0 +1,85 @@
+"""Tests for the CSV artifact exporter (repro.perfmodel.export)."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.perfmodel.export import _write_rows, export_all
+
+EXPECTED_ARTIFACTS = {
+    "table1_systems",
+    "fig2_single_gpu",
+    "fig3_multi_gpu",
+    "table2_related_work",
+    "unique_ratios",
+    "sycl_speedups",
+}
+
+
+@pytest.fixture(scope="module")
+def exported(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("artifacts")
+    return directory, export_all(directory)
+
+
+def _read(path) -> list[dict]:
+    with open(path, encoding="utf-8", newline="") as fh:
+        return list(csv.DictReader(fh))
+
+
+class TestExportAll:
+    def test_every_artifact_written(self, exported):
+        directory, written = exported
+        assert set(written) == EXPECTED_ARTIFACTS
+        for name, path in written.items():
+            assert path == str(directory / f"{name}.csv")
+
+    def test_files_parse_and_are_nonempty(self, exported):
+        _, written = exported
+        for name, path in written.items():
+            rows = _read(path)
+            assert rows, f"{name}.csv has no data rows"
+            # header is uniform across rows (DictReader guarantees keys)
+            assert all(rows[0].keys() == r.keys() for r in rows)
+
+    def test_sycl_speedups_schema(self, exported):
+        _, written = exported
+        rows = _read(written["sycl_speedups"])
+        assert list(rows[0].keys()) == ["comparison", "speedup"]
+        for row in rows:
+            assert float(row["speedup"]) > 0
+
+    def test_fig2_numeric_columns(self, exported):
+        _, written = exported
+        rows = _read(written["fig2_single_gpu"])
+        for row in rows:
+            for key, value in row.items():
+                # every dataclass field round-trips through CSV as a
+                # parseable scalar (numbers or labels, never empty)
+                assert value != ""
+
+    def test_export_is_idempotent(self, exported, tmp_path):
+        _, first = exported
+        second = export_all(tmp_path)
+        for name in EXPECTED_ARTIFACTS:
+            assert _read(first[name]) == _read(second[name])
+
+    def test_creates_missing_directory(self, tmp_path):
+        target = tmp_path / "deep" / "nested"
+        written = export_all(target)
+        assert target.is_dir()
+        assert set(written) == EXPECTED_ARTIFACTS
+
+
+class TestWriteRows:
+    def test_refuses_empty(self, tmp_path):
+        with pytest.raises(ValueError, match="empty CSV"):
+            _write_rows(str(tmp_path / "x.csv"), [])
+
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "r.csv")
+        _write_rows(path, [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}])
+        rows = _read(path)
+        assert rows == [{"a": "1", "b": "x"}, {"a": "2", "b": "y"}]

@@ -1,0 +1,370 @@
+"""Property-based fuzz suite (hypothesis, profile ``repro``).
+
+Three invariant families, per the observability-PR test plan:
+
+1.  **Table correctness** — for random datasets and SNP tuples, the 81-cell
+    (and lower-order) contingency tables produced by the independent
+    bitwise path sum to ``N`` per phenotype class and match the naive
+    dense-histogram baseline cell for cell.
+
+2.  **Inclusion–exclusion identities** — completing a ``{0,1}^k`` corner
+    with its full ``(k-1)``-order marginals (paper §3.3) recovers the
+    ground-truth ``(3,)*k`` table exactly, for every order ``k in 1..4``
+    and under batching; marginalizing the completed table returns the
+    marginals it was built from.
+
+3.  **Metrics invariants** — the observability counters obey their
+    conservation laws under arbitrary access patterns and real runs:
+    ``hits + misses == lookups`` for the operand cache,
+    ``requests == executed + cache_served`` for operand accounting, and
+    recorded child-span time never exceeds the enclosing span's duration.
+
+All strategies keep problem sizes tiny (``M <= 12``, ``N <= 96``) so the
+40-example ``repro`` profile stays inside tier-1 time budgets.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.contingency.brute_force import (
+    contingency_table,
+    contingency_tables_by_class,
+)
+from repro.contingency.complete import (
+    complete_pair,
+    complete_quad,
+    complete_single,
+    complete_tables,
+    complete_triple,
+)
+from repro.contingency.tables import marginalize, validate_table
+from repro.core.operand_cache import OperandCache
+from repro.core.search import Epi4TensorSearch, SearchConfig
+from repro.core.selfcheck import direct_quad_tables
+from repro.datasets import Dataset, encode_dataset
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+pytestmark = pytest.mark.property
+
+# --------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------- #
+
+
+@st.composite
+def datasets(draw, min_snps: int = 4, max_snps: int = 10):
+    """A tiny random case-control dataset with both classes non-empty."""
+    m = draw(st.integers(min_snps, max_snps))
+    n = draw(st.integers(8, 96))
+    genotypes = draw(
+        hnp.arrays(np.int8, (m, n), elements=st.integers(0, 2))
+    )
+    n_cases = draw(st.integers(1, n - 1))
+    phenotypes = np.zeros(n, dtype=np.bool_)
+    phenotypes[:n_cases] = True
+    return Dataset(genotypes=genotypes, phenotypes=phenotypes)
+
+
+@st.composite
+def dataset_and_quad(draw):
+    ds = draw(datasets())
+    quad = tuple(
+        draw(
+            st.lists(
+                st.integers(0, ds.n_snps - 1),
+                min_size=4,
+                max_size=4,
+                unique=True,
+            )
+        )
+    )
+    return ds, quad
+
+
+def genotype_rows(order: int, max_batch: int = 3):
+    """``(batch?, order, n)`` genotype rows for direct table construction."""
+    return st.integers(4, 48).flatmap(
+        lambda n: hnp.arrays(
+            np.int8, (order, n), elements=st.integers(0, 2)
+        )
+    )
+
+
+# --------------------------------------------------------------------- #
+# 1. Table correctness: bitwise path == naive histogram, sums == N
+# --------------------------------------------------------------------- #
+
+
+class TestTableCorrectness:
+    @given(dataset_and_quad())
+    def test_direct_quad_tables_match_naive_baseline(self, ds_quad):
+        ds, quad = ds_quad
+        encoded = encode_dataset(ds)
+        direct0, direct1 = direct_quad_tables(encoded, quad)
+        naive0, naive1 = contingency_tables_by_class(ds, quad)
+        np.testing.assert_array_equal(direct0, naive0)
+        np.testing.assert_array_equal(direct1, naive1)
+
+    @given(dataset_and_quad())
+    def test_tables_sum_to_class_sizes(self, ds_quad):
+        ds, quad = ds_quad
+        t0, t1 = direct_quad_tables(encode_dataset(ds), quad)
+        assert int(t0.sum()) == ds.n_controls
+        assert int(t1.sum()) == ds.n_cases
+        validate_table(t0, order=4, total=ds.n_controls)
+        validate_table(t1, order=4, total=ds.n_cases)
+
+    @given(genotype_rows(order=3))
+    def test_histogram_total_is_sample_count(self, rows):
+        table = contingency_table(rows)
+        assert int(table.sum()) == rows.shape[1]
+        validate_table(table, order=3, total=rows.shape[1])
+
+    @given(genotype_rows(order=4), st.integers(0, 3))
+    def test_marginalizing_drops_exactly_one_snp(self, rows, axis):
+        full = contingency_table(rows)
+        kept = [i for i in range(4) if i != axis]
+        expected = contingency_table(rows[kept])
+        np.testing.assert_array_equal(
+            marginalize(full, axis, order=4), expected
+        )
+
+    @given(dataset_and_quad())
+    def test_permutation_equivariance(self, ds_quad):
+        """Permuting the quad permutes the table axes identically."""
+        ds, quad = ds_quad
+        encoded = encode_dataset(ds)
+        t0, t1 = direct_quad_tables(encoded, quad)
+        perm = (2, 0, 3, 1)
+        permuted_quad = tuple(quad[p] for p in perm)
+        p0, p1 = direct_quad_tables(encoded, permuted_quad)
+        np.testing.assert_array_equal(p0, np.transpose(t0, perm))
+        np.testing.assert_array_equal(p1, np.transpose(t1, perm))
+
+
+# --------------------------------------------------------------------- #
+# 2. Inclusion–exclusion: corner + marginals recovers the full table
+# --------------------------------------------------------------------- #
+
+
+def _full_and_parts(rows: np.ndarray, order: int):
+    """Ground-truth full table, its {0,1}^k corner and its marginals."""
+    full = contingency_table(rows)
+    corner = full[(slice(0, 2),) * order]
+    if order == 1:
+        marginals = [np.asarray(rows.shape[1], dtype=np.int64)]
+    else:
+        marginals = [marginalize(full, ax, order) for ax in range(order)]
+    return full, corner, marginals
+
+
+class TestInclusionExclusion:
+    @given(genotype_rows(order=1))
+    def test_order1_identity(self, rows):
+        full, corner, _ = _full_and_parts(rows, 1)
+        np.testing.assert_array_equal(
+            complete_single(corner, rows.shape[1]), full
+        )
+
+    @given(genotype_rows(order=2))
+    def test_order2_identity(self, rows):
+        full, corner, _ = _full_and_parts(rows, 2)
+        single_a = contingency_table(rows[:1]).reshape(3)
+        single_b = contingency_table(rows[1:]).reshape(3)
+        np.testing.assert_array_equal(
+            complete_pair(corner, single_a, single_b), full
+        )
+
+    @given(genotype_rows(order=3))
+    def test_order3_identity(self, rows):
+        full, corner, _ = _full_and_parts(rows, 3)
+        pairs = [
+            contingency_table(rows[list(ij)])
+            for ij in itertools.combinations(range(3), 2)
+        ]
+        np.testing.assert_array_equal(
+            complete_triple(corner, *pairs), full
+        )
+
+    @given(genotype_rows(order=4))
+    def test_order4_identity(self, rows):
+        full, corner, _ = _full_and_parts(rows, 4)
+        triples = [
+            contingency_table(rows[list(ijk)])
+            for ijk in itertools.combinations(range(4), 3)
+        ]
+        np.testing.assert_array_equal(
+            complete_quad(corner, *triples), full
+        )
+
+    @given(genotype_rows(order=4), st.integers(1, 4))
+    def test_generic_completion_every_order(self, rows, order):
+        full, corner, marginals = _full_and_parts(rows[:order], order)
+        out = complete_tables(corner, marginals, order)
+        np.testing.assert_array_equal(out, full)
+        validate_table(out, order, total=rows.shape[1])
+
+    @given(genotype_rows(order=3), st.integers(0, 2))
+    def test_completed_table_marginalizes_back(self, rows, axis):
+        full, corner, marginals = _full_and_parts(rows, 3)
+        out = complete_tables(corner, marginals, 3)
+        np.testing.assert_array_equal(
+            marginalize(out, axis, 3), marginals[axis]
+        )
+
+    @given(st.integers(2, 5), genotype_rows(order=2))
+    def test_batched_completion_matches_per_item(self, batch, rows):
+        """A stacked batch completes to the stack of per-item completions."""
+        full, corner, marginals = _full_and_parts(rows, 2)
+        bc = np.broadcast_to(corner, (batch,) + corner.shape)
+        bm = [np.broadcast_to(m, (batch,) + m.shape) for m in marginals]
+        out = complete_tables(bc, bm, 2)
+        assert out.shape == (batch, 3, 3)
+        for i in range(batch):
+            np.testing.assert_array_equal(out[i], full)
+
+    def test_validate_table_rejects_negative_and_bad_total(self):
+        bad = np.zeros((3, 3), dtype=np.int64)
+        bad[0, 0] = -1
+        with pytest.raises(ValueError, match="negative"):
+            validate_table(bad, order=2)
+        with pytest.raises(ValueError, match="do not all equal"):
+            validate_table(np.zeros((3,), dtype=np.int64), order=1, total=5)
+
+
+# --------------------------------------------------------------------- #
+# 3. Metrics conservation laws
+# --------------------------------------------------------------------- #
+
+
+class TestCacheConservation:
+    @given(
+        st.lists(st.integers(0, 12), min_size=1, max_size=200),
+        st.sampled_from([0.001, 0.01, float("inf")]),
+    )
+    def test_hits_plus_misses_equals_lookups(self, keys, cap_mb):
+        cache = OperandCache(cap_mb * 1e6 if cap_mb != float("inf") else cap_mb)
+        for key in keys:
+            cache.get_or_compute(key, lambda: np.zeros(64, dtype=np.int64))
+        stats = cache.stats
+        assert stats.hits + stats.misses == len(keys)
+        registry = MetricsRegistry()
+        stats.export_metrics(registry)
+        assert registry.total("epi4_cache_lookups_total") == len(keys)
+        assert registry.total(
+            "epi4_cache_lookups_total", result="hit"
+        ) == stats.hits
+        assert registry.total(
+            "epi4_cache_lookups_total", result="miss"
+        ) == stats.misses
+
+    @given(st.lists(st.integers(0, 6), min_size=1, max_size=100))
+    def test_unbounded_cache_misses_equal_unique_keys(self, keys):
+        cache = OperandCache(float("inf"))
+        for key in keys:
+            cache.get_or_compute(key, lambda: np.zeros(8, dtype=np.int64))
+        assert cache.stats.misses == len(set(keys))
+        assert cache.stats.evictions == 0
+
+    @given(st.lists(st.integers(0, 4), min_size=8, max_size=64))
+    @settings(max_examples=10)
+    def test_conservation_holds_under_threads(self, keys):
+        cache = OperandCache(float("inf"))
+        n_threads = 4
+
+        def worker():
+            for key in keys:
+                cache.get_or_compute(
+                    key, lambda: np.zeros(8, dtype=np.int64)
+                )
+
+        threads = [
+            threading.Thread(target=worker) for _ in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats = cache.stats
+        assert stats.hits + stats.misses == n_threads * len(keys)
+        # Single-flight: unique keys computed at most once each... exactly
+        # once with an unbounded cache.
+        assert stats.misses == len(set(keys))
+
+
+class TestSearchConservation:
+    @given(
+        seed=st.integers(0, 2**16),
+        cache_mb=st.sampled_from([None, 2]),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_operand_requests_conserved(self, seed, cache_mb):
+        from repro.datasets import generate_random_dataset
+
+        ds = generate_random_dataset(12, 64, seed=seed)
+        search = Epi4TensorSearch(
+            ds,
+            SearchConfig(block_size=4, cache_mb=cache_mb, top_k=2),
+        )
+        search.run()
+        m = search.metrics
+        for kind in ("combine", "sweep"):
+            req = m.total("epi4_operand_requests_total", kind=kind)
+            exe = m.total("epi4_operand_executed_total", kind=kind)
+            srv = m.total("epi4_operand_cache_served_total", kind=kind)
+            assert req == exe + srv
+            assert req > 0
+        if cache_mb is None:
+            assert m.total("epi4_operand_cache_served_total") == 0
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=6, deadline=None)
+    def test_span_child_time_bounded_by_parent(self, seed):
+        from repro.datasets import generate_random_dataset
+
+        tracer = Tracer()
+        ds = generate_random_dataset(12, 64, seed=seed)
+        Epi4TensorSearch(
+            ds,
+            SearchConfig(block_size=4, host_threads=1),
+            tracer=tracer,
+        ).run()
+        records = tracer.records()
+        by_id = {r.span_id: r for r in records}
+        child_time: dict[int, float] = {}
+        for r in records:
+            if r.parent_id is not None:
+                child_time[r.parent_id] = (
+                    child_time.get(r.parent_id, 0.0) + r.duration
+                )
+        assert child_time, "expected nested spans"
+        for parent_id, total in child_time.items():
+            parent = by_id[parent_id]
+            # Sequential nesting: children account for at most the
+            # parent's elapsed time (tolerance for clock granularity).
+            assert total <= parent.duration + 1e-6, (
+                f"children of {parent.path} recorded {total}s inside a "
+                f"{parent.duration}s span"
+            )
+
+    def test_synthetic_nested_spans_obey_bound(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            for _ in range(5):
+                with tracer.span("inner"):
+                    pass
+        records = tracer.records()
+        outer = next(r for r in records if r.name == "outer")
+        inner_total = sum(
+            r.duration for r in records if r.parent_id == outer.span_id
+        )
+        assert inner_total <= outer.duration + 1e-9

@@ -1,0 +1,224 @@
+"""Observability wiring of the search driver: span taxonomy, unified
+metrics, and the per-device attribution fix.
+
+The attribution regression this locks in: phase times and work counters
+used to be accumulated into *shared* per-phase timers, so when threaded
+device workers finished out of order the per-device breakdown was lost
+(everything collapsed into one unattributed sum).  They are now recorded
+at the call site as ``device``-labeled series in the
+:class:`~repro.obs.metrics.MetricsRegistry`, which makes aggregation
+commutative: any completion order yields identical aggregates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.search import Epi4TensorSearch, SearchConfig
+from repro.datasets import generate_random_dataset
+from repro.obs.metrics import MetricsRegistry, normalized_snapshot
+from repro.obs.trace import Tracer, span_tree_shape
+
+
+def _dataset(seed: int = 29):
+    return generate_random_dataset(24, 96, seed=seed)
+
+
+def _run(
+    *, tracer=None, n_gpus=1, metrics=None, **cfg
+) -> tuple[Epi4TensorSearch, "object"]:
+    cfg.setdefault("block_size", 8)
+    search = Epi4TensorSearch(
+        _dataset(),
+        SearchConfig(**cfg),
+        n_gpus=n_gpus,
+        tracer=tracer,
+        metrics=metrics,
+    )
+    return search, search.run()
+
+
+class TestSpanTaxonomy:
+    def test_sequential_tree_matches_documented_shape(self):
+        tr = Tracer()
+        search, _ = _run(tracer=tr, host_threads=1)
+        paths = span_tree_shape(tr.records())
+        assert "encode#0" in paths
+        assert "run#0" in paths
+        assert "run#0/prepare#0" in paths
+        assert "run#0/prepare#0/pairwise#0" in paths
+        assert "run#0/reduce#0" in paths
+        assert "run#0/device[0]#0" in paths
+        assert "run#0/device[0]#0/outer[0]#0" in paths
+        # every outer iteration appears exactly once
+        outers = [p for p in paths if p.endswith("#0") and "/outer[" in p and p.count("/") == 2]
+        assert len(outers) == search.scheme.nb
+
+    def test_round_children(self):
+        tr = Tracer()
+        _run(tracer=tr, host_threads=1)
+        paths = span_tree_shape(tr.records())
+        prefix = "run#0/device[0]#0/outer[0]#0/round[0,0,0,0]#0"
+        children = {
+            p[len(prefix) + 1:] for p in paths if p.startswith(prefix + "/")
+        }
+        assert children == {
+            "combine#0", "combine#1", "tensor4#0", "tensor4#1",
+            "derive#0", "score#0", "reduce#0",
+        }
+
+    def test_round_count_matches_scheme(self):
+        tr = Tracer()
+        search, _ = _run(tracer=tr, host_threads=1)
+        rounds = [p for p in span_tree_shape(tr.records()) if "/round[" in p]
+        # each round path contributes itself + 7 children
+        assert len([p for p in rounds if p.endswith("]#0")]) == search.scheme.n_rounds
+
+    def test_threaded_device_spans_parent_under_run(self):
+        tr = Tracer()
+        _run(tracer=tr, host_threads=2, n_gpus=2, cache_mb=2)
+        paths = span_tree_shape(tr.records())
+        device_roots = [p for p in paths if p.startswith("device[")]
+        assert device_roots == []  # never orphaned at the root
+        assert "run#0/device[0]#0" in paths
+        assert "run#0/device[1]#0" in paths
+
+    def test_samples_partition_taxonomy(self):
+        tr = Tracer()
+        _run(tracer=tr, n_gpus=2, partition="samples")
+        paths = span_tree_shape(tr.records())
+        assert "run#0/device[0]#0" in paths
+        assert any("/round[" in p for p in paths)
+
+    def test_default_tracer_is_noop(self):
+        search, result = _run(host_threads=1)
+        assert search.tracer.records() == []
+        assert result.solution is not None
+
+
+class TestUnifiedMetrics:
+    def test_operand_invariant_requests_eq_executed_plus_served(self):
+        for cache_mb in (None, 2):
+            search, _ = _run(cache_mb=cache_mb, host_threads=1)
+            m = search.metrics
+            for kind in ("combine", "sweep"):
+                req = m.total("epi4_operand_requests_total", kind=kind)
+                exe = m.total("epi4_operand_executed_total", kind=kind)
+                srv = m.total("epi4_operand_cache_served_total", kind=kind)
+                assert req == exe + srv
+                assert req > 0
+            if cache_mb:
+                assert m.total("epi4_operand_cache_served_total") > 0
+
+    def test_rounds_total_matches_scheme(self):
+        search, _ = _run(host_threads=1)
+        assert (
+            search.metrics.total("epi4_rounds_total")
+            == search.scheme.n_rounds
+        )
+        h = search.metrics.histogram("epi4_round_seconds", device="0")
+        assert h is not None and h.total == search.scheme.n_rounds
+
+    def test_phase_seconds_canonical_keys_preserved(self):
+        _, result = _run(host_threads=1)
+        assert set(result.phase_seconds) == {
+            "encode", "pairwise", "combine", "tensor3", "tensor4", "score"
+        }
+        for phase in ("pairwise", "combine", "tensor3", "tensor4", "score"):
+            assert result.phase_seconds[phase] > 0
+
+    def test_kernel_counters_absorbed_with_device_labels(self):
+        search, result = _run(n_gpus=2, host_threads=1)
+        m = search.metrics
+        launches = m.sum_by("epi4_kernel_launches_total", "device")
+        assert set(launches) == {"0", "1"}
+        total = sum(
+            sum(c.launches.values()) for c in result.per_device_counters
+        )
+        assert sum(launches.values()) == total
+        assert m.total("epi4_transfer_bytes_total") == result.counters.transfer_bytes
+
+    def test_wall_seconds_gauge_set(self):
+        search, result = _run(host_threads=1)
+        assert search.metrics.value("epi4_wall_seconds") == pytest.approx(
+            result.wall_seconds
+        )
+        assert search.metrics.value(
+            "epi4_quads_per_second_scaled"
+        ) == pytest.approx(result.quads_per_second_scaled)
+
+    def test_fresh_registry_per_run(self):
+        search, _ = _run(host_threads=1)
+        first = search.metrics.total("epi4_rounds_total")
+        search.run()
+        assert search.metrics.total("epi4_rounds_total") == first
+
+    def test_user_registry_accumulates(self):
+        registry = MetricsRegistry()
+        search = Epi4TensorSearch(
+            _dataset(),
+            SearchConfig(block_size=8),
+            metrics=registry,
+        )
+        search.run()
+        once = registry.total("epi4_rounds_total")
+        search.run()
+        assert registry.total("epi4_rounds_total") == 2 * once
+        assert search.metrics is registry
+
+
+class TestPerDeviceAttribution:
+    """The out-of-order completion fix (labeled series, not shared timers)."""
+
+    def test_permuted_recording_orders_yield_identical_aggregates(self):
+        # The exact samples a 2-device run records, committed in two
+        # different completion orders — the registry must not care.
+        samples = [
+            ("epi4_phase_seconds_total", 0.25, {"phase": "tensor4", "device": "0"}),
+            ("epi4_phase_seconds_total", 0.50, {"phase": "tensor4", "device": "1"}),
+            ("epi4_phase_seconds_total", 0.125, {"phase": "score", "device": "0"}),
+            ("epi4_rounds_total", 7, {"device": "0"}),
+            ("epi4_rounds_total", 3, {"device": "1"}),
+            ("epi4_operand_requests_total", 11, {"kind": "combine", "device": "1"}),
+        ]
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for name, value, labels in samples:
+            a.inc(name, value, **labels)
+        for name, value, labels in reversed(samples):
+            b.inc(name, value, **labels)
+        assert a.snapshot() == b.snapshot()
+        assert a.to_prometheus() == b.to_prometheus()
+
+    def test_threaded_run_keeps_per_device_phase_series(self):
+        search, result = _run(
+            n_gpus=2, host_threads=2, cache_mb=2, top_k=2
+        )
+        by_device = result.phase_seconds_by_device
+        for phase in ("tensor4", "score"):
+            devices = set(by_device[phase])
+            # both workers recorded under their own label
+            assert devices <= {"0", "1"}
+            assert devices, f"no device series for {phase}"
+        assert by_device["encode"] == {
+            "host": pytest.approx(by_device["encode"]["host"])
+        }
+
+    def test_phase_totals_equal_sum_of_device_series(self):
+        search, result = _run(n_gpus=2, host_threads=2, cache_mb=2)
+        for phase, total in result.phase_seconds.items():
+            per_device = result.phase_seconds_by_device.get(phase, {})
+            assert total == pytest.approx(sum(per_device.values()))
+
+    def test_normalized_snapshot_identical_seq_vs_threaded(self):
+        snaps = []
+        for threads in (1, 2):
+            search, _ = _run(
+                n_gpus=2, host_threads=threads, cache_mb=2
+            )
+            snaps.append(normalized_snapshot(search.metrics))
+        assert snaps[0] == snaps[1]
+
+    def test_executed_assignment_covers_all_outer_iterations(self):
+        search, result = _run(n_gpus=2, host_threads=2, cache_mb=2)
+        ran = sorted(wi for worker in result.executed_assignment for wi in worker)
+        assert ran == list(range(search.scheme.nb))

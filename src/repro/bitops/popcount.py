@@ -40,7 +40,15 @@ def popcount_u64(words: np.ndarray) -> np.ndarray:
         ``int64`` array of the same shape with the number of set bits per
         element.
     """
-    words = np.ascontiguousarray(words, dtype=np.uint64)
+    if not (
+        isinstance(words, np.ndarray)
+        and words.dtype == np.uint64
+        and words.flags.c_contiguous
+    ):
+        # Only copy when we must: the packed-GEMM hot loop feeds freshly
+        # materialized contiguous uint64 intermediates, and cloning the
+        # largest buffer of the kernel per call was pure allocation churn.
+        words = np.ascontiguousarray(words, dtype=np.uint64)
     if _HAS_BITWISE_COUNT:
         return np.bitwise_count(words).astype(np.int64)
     return _popcount_u64_lut(words)

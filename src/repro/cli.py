@@ -61,6 +61,28 @@ def _add_search(sub: argparse._SubParsersAction) -> None:
         "unbounded; charged against device memory before the search runs)",
     )
     p.add_argument(
+        "--score-path", default="fused", choices=("fused", "dense"),
+        help="applyScore strategy: 'fused' (mask-first compaction + staged "
+        "lgamma scorer, the default) or 'dense' (legacy full-grid reference "
+        "path); results are bit-identical",
+    )
+    p.add_argument(
+        "--no-cache-triplets", action="store_true",
+        help="disable cross-round reuse of completed third-order tables "
+        "(fused path only; tables are then recompleted per round)",
+    )
+    p.add_argument(
+        "--autotune", action="store_true",
+        help="run a short calibration pass on the actual dataset to pick "
+        "the applyScore chunk size (and, in packed mode, the GEMM tiling "
+        "budget) before searching; result-neutral",
+    )
+    p.add_argument(
+        "--max-chunk-cells", type=int, default=None, metavar="CELLS",
+        help="fix the applyScore chunking bound (cells per class per chunk) "
+        "instead of the default or autotuned value",
+    )
+    p.add_argument(
         "--host-threads", type=int, default=None, metavar="T",
         help="host worker threads driving the devices (default: one per "
         "GPU, capped at the host CPU count)",
@@ -202,18 +224,25 @@ def _cmd_search(args: argparse.Namespace) -> int:
               f"({kres.n_sets_evaluated} sets, {kres.tensor_ops:.2e} tensor ops)")
         best_tuple = kres.best_tuple
     else:
+        config_kwargs = {}
+        if args.max_chunk_cells is not None:
+            config_kwargs["max_chunk_cells"] = args.max_chunk_cells
         config = SearchConfig(
             block_size=args.block_size,
             score=args.score,
             engine_kind=args.engine,
             top_k=args.top_k,
             selfcheck=args.selfcheck,
+            score_path=args.score_path,
+            cache_triplets=not args.no_cache_triplets,
+            autotune=args.autotune,
             cache_mb=args.cache_mb,
             host_threads=args.host_threads,
             max_retries=args.max_retries,
             backoff_base_ms=args.backoff_base_ms,
             quarantine_after=args.quarantine_after,
             inject_faults=args.inject_faults,
+            **config_kwargs,
         )
         tracer = None
         if args.trace_out:
@@ -254,6 +283,17 @@ def _cmd_search(args: argparse.Namespace) -> int:
               f"{result.block_scheme.quads_processed} processed quads")
         print(f"wall time : {result.wall_seconds:.2f}s "
               f"({result.quads_per_second_scaled:.3e} quad-samples/s)")
+        if "epi4_applyscore_compaction_ratio" in result.metrics.names():
+            ratio = result.metrics.value("epi4_applyscore_compaction_ratio")
+            print(f"applyScore: {100 * ratio:.1f}% of grid cells completed "
+                  "(mask-first compaction)")
+        if search.autotune_decision is not None:
+            dec = search.autotune_decision
+            tuned = f"chunk_cells={dec.max_chunk_cells}"
+            if dec.block_bytes is not None:
+                tuned += f", block_bytes={dec.block_bytes}"
+            print(f"autotune  : {tuned} "
+                  f"({dec.calibration_seconds * 1e3:.0f} ms calibration)")
         if result.cache_stats is not None:
             cs = result.cache_stats
             print(f"cache     : {100 * cs.hit_rate:.1f}% hit rate "

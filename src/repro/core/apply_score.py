@@ -3,14 +3,53 @@
 Takes the per-class fourth-order corners (16 counts/quad from the tensor
 GEMM) and the third-order corner slices for the four contained triplets,
 completes everything to full 81-cell tables per class (§3.3), scores every
-quad, and masks out non-useful positions (repeated/unsorted quads and
-padding).  Memory is bounded by chunking along the ``w`` axis, mirroring how
+*useful* quad, and marks non-useful positions (repeated/unsorted quads and
+padding) with ``+inf``.
+
+Two implementations are provided:
+
+:func:`score_round` (the default, *fused* path)
+    **Mask-first compaction**: the validity mask is computed *before* any
+    completion, the valid positions are gathered into a flat compacted
+    batch, and only those are completed and scored.  Diagonal rounds —
+    where most of the ``B^4`` grid is repeated/unsorted — skip the vast
+    majority of the completion and scoring arithmetic entirely.
+
+    **Cross-round completed-triplet reuse**: the full 27-cell third-order
+    tables are requested through a pluggable ``full3_provider``.  The table
+    for a block triple is a pure function of the (sorted) block offsets —
+    the same pair sweep sliced at the same tail block, completed with the
+    same global indices — regardless of which *role* (``wxy``/``wxz``/
+    ``wyz``/``xyz``) the triple plays in a round, so the search wires the
+    provider to the byte-accounted
+    :class:`~repro.core.operand_cache.OperandCache` under keys
+    ``("full3", cls, a, b, c)`` and each triplet is completed **once per
+    sweep** instead of once per round.  Within a single round, duplicate
+    roles (diagonal rounds share block triples between roles) are deduped
+    locally before the provider is consulted.
+
+    **Staged-lgamma scoring**: when a
+    :class:`~repro.scoring.k2.StagedK2Kernel` is supplied, scores are
+    gathered directly from pre-shifted lgamma views on the int64 count
+    arrays and reduced in one pass — bit-identical to the reference
+    :class:`~repro.scoring.k2.K2Score` (same float lookups, same
+    elementwise ``a - b - c``, same trailing-axis sum), without the
+    integer ``n + k`` index temporaries.
+
+:func:`apply_score_dense` (the legacy reference)
+    Completes and scores the full ``B^4 x 81`` grid, then masks.  Kept
+    bit-identical to the pre-fusion implementation as the ablation
+    baseline (``score_path="dense"``) and as the property-test oracle.
+
+Memory stays bounded in both paths by chunking — along ``w`` in the dense
+path, along the compacted position axis in the fused path — mirroring how
 the CUDA kernel never materializes all 81 counts for a whole round at once.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -19,6 +58,13 @@ from repro.core.threeway import complete_threeway
 
 #: Default cap on materialized table cells per chunk (per class), in cells.
 DEFAULT_MAX_CHUNK_CELLS = 32 * 1024 * 1024
+
+#: ``full3_provider`` signature: ``(cls, (a, b, c) block offsets, factory)
+#: -> (table, served_from_cache)``.
+Full3Provider = Callable[
+    [int, tuple[int, int, int], Callable[[], np.ndarray]],
+    tuple[np.ndarray, bool],
+]
 
 
 @dataclass(frozen=True)
@@ -47,6 +93,33 @@ class RoundOperands:
     block_size: int
 
 
+@dataclass(frozen=True)
+class RoundScoreStats:
+    """Per-round accounting of the fused ``applyScore`` path.
+
+    Attributes:
+        positions: grid size ``B^4``.
+        valid: positions surviving the validity mask (scored positions).
+        chunks: compacted chunks processed.
+        full3_requests: unique ``(class, block-triple)`` completed-table
+            requests this round (duplicate roles deduped locally first).
+        full3_computed: requests that executed a third-order completion.
+        full3_cache_hits: requests served by the provider's cache.
+    """
+
+    positions: int
+    valid: int
+    chunks: int
+    full3_requests: int
+    full3_computed: int
+    full3_cache_hits: int
+
+    @property
+    def compaction_ratio(self) -> float:
+        """Fraction of grid positions actually scored (lower = more saved)."""
+        return self.valid / self.positions if self.positions else 0.0
+
+
 def round_validity_mask(
     offsets: tuple[int, int, int, int], block_size: int, n_real_snps: int
 ) -> np.ndarray:
@@ -70,6 +143,166 @@ def round_validity_mask(
     )
 
 
+def _full3_tables(
+    operands: RoundOperands,
+    pairs: np.ndarray,
+    full3_provider: Full3Provider | None,
+) -> tuple[dict[str, list[np.ndarray]], int, int, int]:
+    """All four completed third-order tables per class, deduped + cached.
+
+    The completed table for a block triple depends only on its (already
+    non-decreasing) block offsets: the corner slice is the same sweep GEMM
+    output and the completion gathers the same global pair tables whichever
+    role the triple plays.  Diagonal rounds therefore resolve several roles
+    to one table, and the provider (when given) shares tables across
+    rounds.
+
+    Returns:
+        ``(tables, requests, computed, cache_hits)`` where ``tables[role]``
+        is the per-class list of ``(B, B, B, 3, 3, 3)`` tables.
+    """
+    b = operands.block_size
+    wo, xo, yo, zo = operands.offsets
+    w_idx = np.arange(wo, wo + b)
+    x_idx = np.arange(xo, xo + b)
+    y_idx = np.arange(yo, yo + b)
+    z_idx = np.arange(zo, zo + b)
+
+    roles: dict[str, tuple[tuple[int, int, int], tuple, tuple]] = {
+        "wxy": ((wo, xo, yo), operands.corner3_wxy, (w_idx, x_idx, y_idx)),
+        "wxz": ((wo, xo, zo), operands.corner3_wxz, (w_idx, x_idx, z_idx)),
+        "wyz": ((wo, yo, zo), operands.corner3_wyz, (w_idx, y_idx, z_idx)),
+        "xyz": ((xo, yo, zo), operands.corner3_xyz, (x_idx, y_idx, z_idx)),
+    }
+
+    local: dict[tuple[int, tuple[int, int, int]], np.ndarray] = {}
+    requests = computed = cache_hits = 0
+    tables: dict[str, list[np.ndarray]] = {}
+    for role, (triple, corners, indices) in roles.items():
+        per_class: list[np.ndarray] = []
+        for cls in (0, 1):
+            memo_key = (cls, triple)
+            table = local.get(memo_key)
+            if table is None:
+                corner = corners[cls]
+                pairs_cls = pairs[cls]
+                a_idx, b_idx, c_idx = indices
+
+                def factory(
+                    corner=corner,
+                    pairs_cls=pairs_cls,
+                    a_idx=a_idx,
+                    b_idx=b_idx,
+                    c_idx=c_idx,
+                ) -> np.ndarray:
+                    return complete_threeway(
+                        corner, pairs_cls, a_idx, b_idx, c_idx
+                    )
+
+                requests += 1
+                if full3_provider is None:
+                    table = factory()
+                    hit = False
+                else:
+                    table, hit = full3_provider(cls, triple, factory)
+                if hit:
+                    cache_hits += 1
+                else:
+                    computed += 1
+                local[memo_key] = table
+            per_class.append(table)
+        tables[role] = per_class
+    return tables, requests, computed, cache_hits
+
+
+def score_round(
+    operands: RoundOperands,
+    pairs: np.ndarray,
+    score_min_fn,
+    n_real_snps: int,
+    *,
+    max_chunk_cells: int = DEFAULT_MAX_CHUNK_CELLS,
+    staged_kernel=None,
+    full3_provider: Full3Provider | None = None,
+) -> tuple[np.ndarray, RoundScoreStats]:
+    """Fused mask-first scoring of one round (see module docstring).
+
+    Args:
+        operands: the round's tensor outputs, see :class:`RoundOperands`.
+        pairs: ``(2, M, M, 3, 3)`` full pairwise tables (both classes).
+        score_min_fn: batched score callable ``(t0, t1, order=4) -> scores``
+            already normalized so lower is better.  Used whenever
+            ``staged_kernel`` is not supplied.
+        n_real_snps: unpadded SNP count (padding exclusion).
+        max_chunk_cells: bound on materialized 81-cell-table cells per
+            class per chunk; controls peak memory.
+        staged_kernel: optional
+            :class:`~repro.scoring.k2.StagedK2Kernel`; bit-identical to the
+            K2 ``score_min_fn`` but skips the index-arithmetic temporaries.
+        full3_provider: optional cross-round completed-triplet cache hook
+            (see :data:`Full3Provider`).
+
+    Returns:
+        ``(scores, stats)`` — the ``(B, B, B, B)`` float64 grid with
+        ``+inf`` at masked positions, and the round's
+        :class:`RoundScoreStats`.
+    """
+    b = operands.block_size
+    mask = round_validity_mask(operands.offsets, b, n_real_snps)
+    w_pos, x_pos, y_pos, z_pos = np.nonzero(mask)
+    n_valid = int(w_pos.size)
+    scores = np.full((b, b, b, b), np.inf, dtype=np.float64)
+    if n_valid == 0:
+        return scores, RoundScoreStats(
+            positions=b**4, valid=0, chunks=0,
+            full3_requests=0, full3_computed=0, full3_cache_hits=0,
+        )
+
+    full3, requests, computed, hits = _full3_tables(
+        operands, pairs, full3_provider
+    )
+    f_wxy, f_wxz, f_wyz, f_xyz = (
+        full3["wxy"], full3["wxz"], full3["wyz"], full3["xyz"]
+    )
+
+    chunk = max(1, max_chunk_cells // 81)
+    flat_scores = np.empty(n_valid, dtype=np.float64)
+    n_chunks = 0
+    for v0 in range(0, n_valid, chunk):
+        v1 = min(v0 + chunk, n_valid)
+        n_chunks += 1
+        w = w_pos[v0:v1]
+        x = x_pos[v0:v1]
+        y = y_pos[v0:v1]
+        z = z_pos[v0:v1]
+        tables = [
+            complete_quad(
+                operands.corner4[cls][w, x, y, z],   # (V, 2, 2, 2, 2)
+                f_wxy[cls][w, x, y],                 # (V, 3, 3, 3)
+                f_wxz[cls][w, x, z],
+                f_wyz[cls][w, y, z],
+                f_xyz[cls][x, y, z],
+            )
+            for cls in (0, 1)
+        ]
+        if staged_kernel is not None:
+            n = v1 - v0
+            flat_scores[v0:v1] = staged_kernel.score_flat(
+                tables[0].reshape(n, -1), tables[1].reshape(n, -1)
+            )
+        else:
+            flat_scores[v0:v1] = score_min_fn(tables[0], tables[1], order=4)
+    scores[mask] = flat_scores
+    return scores, RoundScoreStats(
+        positions=b**4,
+        valid=n_valid,
+        chunks=n_chunks,
+        full3_requests=requests,
+        full3_computed=computed,
+        full3_cache_hits=hits,
+    )
+
+
 def apply_score(
     operands: RoundOperands,
     pairs: np.ndarray,
@@ -80,17 +313,29 @@ def apply_score(
 ) -> np.ndarray:
     """Score every quad of a round; non-useful positions become ``+inf``.
 
-    Args:
-        operands: the round's tensor outputs, see :class:`RoundOperands`.
-        pairs: ``(2, M, M, 3, 3)`` full pairwise tables (both classes).
-        score_min_fn: batched score callable ``(t0, t1, order=4) -> scores``
-            already normalized so lower is better.
-        n_real_snps: unpadded SNP count (padding exclusion).
-        max_chunk_cells: bound on materialized 81-cell-table cells per class
-            per chunk; controls peak memory.
+    Thin compatibility wrapper over :func:`score_round` (the fused path,
+    bit-identical to :func:`apply_score_dense`); returns only the grid.
+    """
+    scores, _ = score_round(
+        operands, pairs, score_min_fn, n_real_snps,
+        max_chunk_cells=max_chunk_cells,
+    )
+    return scores
 
-    Returns:
-        ``(B, B, B, B)`` float64 scores with ``+inf`` at masked positions.
+
+def apply_score_dense(
+    operands: RoundOperands,
+    pairs: np.ndarray,
+    score_min_fn,
+    n_real_snps: int,
+    *,
+    max_chunk_cells: int = DEFAULT_MAX_CHUNK_CELLS,
+) -> np.ndarray:
+    """Legacy dense reference: complete + score the full grid, then mask.
+
+    Kept bit-identical to the pre-fusion implementation; serves as the
+    ``score_path="dense"`` ablation baseline and the property-test oracle
+    for the compacted path.
     """
     b = operands.block_size
     wo, xo, yo, zo = operands.offsets

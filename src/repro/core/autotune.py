@@ -1,0 +1,205 @@
+"""Adaptive calibration of the ``applyScore`` hot path.
+
+The fused scorer has two machine-dependent knobs:
+
+- ``max_chunk_cells`` — how many 81-cell tables the compacted completion
+  materializes per chunk.  Too small and the per-chunk Python/NumPy
+  dispatch overhead dominates; too large and the working set falls out of
+  cache.  The sweet spot depends on the host's cache hierarchy, ``B`` and
+  ``N``.
+- ``block_bytes`` — the packed-GEMM tiling budget
+  (:mod:`repro.tensor.gemm_packed`), only meaningful in ``packed`` mode.
+
+Rather than hard-coding either, :func:`autotune_applyscore` runs a short
+calibration pass on the *actual* dataset: it builds one representative
+round through the independent bitwise path
+(:func:`~repro.core.selfcheck.direct_round_operands` — no tensor engine,
+no cache, no counters perturbed), times :func:`~repro.core.apply_score.
+score_round` across a candidate ladder, and (in packed mode) times a
+representative popcount-GEMM across tiling budgets.  The chosen values are
+exported through the observability layer as ``epi4_applyscore_autotune_*``
+gauges.
+
+Autotuning is **result-neutral by construction**: every candidate chunk
+size yields bit-identical scores (asserted by the property suite), so the
+timing noise of the calibration pass can only affect speed, never answers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.apply_score import DEFAULT_MAX_CHUNK_CELLS, score_round
+from repro.core.selfcheck import direct_round_operands
+from repro.tensor.gemm_packed import (
+    DEFAULT_BLOCK_BYTES,
+    gemm_and_popcount,
+)
+
+#: Candidate ``max_chunk_cells`` ladder (cells = 81-cell tables x 81).
+CHUNK_CELL_CANDIDATES: tuple[int, ...] = (
+    81 * 1024,
+    81 * 4096,
+    81 * 16384,
+    81 * 65536,
+    DEFAULT_MAX_CHUNK_CELLS,
+)
+
+#: Candidate packed-GEMM tiling budgets, in bytes.
+GEMM_BLOCK_CANDIDATES: tuple[int, ...] = (
+    1 << 20,
+    1 << 22,
+    1 << 24,
+    DEFAULT_BLOCK_BYTES,
+)
+
+
+@dataclass(frozen=True)
+class AutotuneDecision:
+    """Outcome of one calibration pass.
+
+    Attributes:
+        max_chunk_cells: chosen ``applyScore`` chunking bound.
+        block_bytes: chosen packed-GEMM tiling budget (``None`` when the
+            engine runs the dense path and the knob is inert).
+        chunk_timings: measured best-of-``repeats`` seconds per candidate.
+        gemm_timings: same for the tiling candidates (empty in dense mode).
+        calibration_seconds: total wall time spent calibrating.
+    """
+
+    max_chunk_cells: int
+    block_bytes: int | None
+    chunk_timings: dict[int, float] = field(default_factory=dict)
+    gemm_timings: dict[int, float] = field(default_factory=dict)
+    calibration_seconds: float = 0.0
+
+    def export_metrics(self, registry) -> None:
+        """Publish the decision as ``epi4_applyscore_autotune_*`` gauges."""
+        registry.set_gauge(
+            "epi4_applyscore_autotune_chunk_cells", self.max_chunk_cells
+        )
+        registry.set_gauge(
+            "epi4_applyscore_autotune_block_bytes",
+            -1.0 if self.block_bytes is None else self.block_bytes,
+        )
+        registry.set_gauge(
+            "epi4_applyscore_autotune_calibration_seconds",
+            self.calibration_seconds,
+        )
+        for cells, seconds in self.chunk_timings.items():
+            registry.set_gauge(
+                "epi4_applyscore_autotune_candidate_seconds",
+                seconds,
+                knob="chunk_cells",
+                candidate=str(cells),
+            )
+        for nbytes, seconds in self.gemm_timings.items():
+            registry.set_gauge(
+                "epi4_applyscore_autotune_candidate_seconds",
+                seconds,
+                knob="block_bytes",
+                candidate=str(nbytes),
+            )
+
+
+def _calibration_offsets(nb: int, block_size: int) -> tuple[int, int, int, int]:
+    """A representative (preferably off-diagonal) round for calibration."""
+    blocks = [min(i, nb - 1) for i in range(4)]
+    return tuple(bi * block_size for bi in blocks)  # type: ignore[return-value]
+
+
+def _best_of(fn: Callable[[], None], repeats: int) -> float:
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def autotune_applyscore(
+    encoded,
+    pairs: np.ndarray,
+    score_min_fn,
+    *,
+    block_size: int,
+    n_real_snps: int,
+    staged_kernel=None,
+    engine=None,
+    repeats: int = 2,
+    chunk_candidates: tuple[int, ...] = CHUNK_CELL_CANDIDATES,
+    gemm_candidates: tuple[int, ...] = GEMM_BLOCK_CANDIDATES,
+) -> AutotuneDecision:
+    """Calibrate ``max_chunk_cells`` (and ``block_bytes`` in packed mode).
+
+    Args:
+        encoded: the :class:`~repro.datasets.encoding.EncodedDataset` the
+            search will run on (calibration uses its true shapes).
+        pairs: ``(2, M, M, 3, 3)`` full pairwise tables.
+        score_min_fn: the search's minimization-normalized score callable.
+        block_size: ``B``.
+        n_real_snps: unpadded SNP count.
+        staged_kernel: the fused scorer the search will use (``None`` for
+            the generic callable path) — calibration must time what runs.
+        engine: a :class:`~repro.tensor.engine.BinaryTensorEngine`; the
+            tiling knob is only calibrated when ``engine.mode == "packed"``.
+        repeats: timing repetitions per candidate (best-of).
+        chunk_candidates / gemm_candidates: override the ladders (tests).
+
+    Returns:
+        An :class:`AutotuneDecision` (apply it yourself: the function has
+        no side effects beyond timing work).
+    """
+    t_start = time.perf_counter()
+    nb = encoded.n_snps // block_size
+    offsets = _calibration_offsets(nb, block_size)
+    operands = direct_round_operands(encoded, offsets, block_size)
+
+    chunk_timings: dict[int, float] = {}
+    seen_effective: set[int] = set()
+    for cells in sorted(set(chunk_candidates)):
+        # Candidates large enough to cover the whole round in one chunk
+        # are indistinguishable; time the first such ladder rung only.
+        effective = max(1, cells // 81)
+        if effective in seen_effective:
+            continue
+        seen_effective.add(effective)
+        chunk_timings[cells] = _best_of(
+            lambda c=cells: score_round(
+                operands,
+                pairs,
+                score_min_fn,
+                n_real_snps,
+                max_chunk_cells=c,
+                staged_kernel=staged_kernel,
+            ),
+            repeats,
+        )
+    best_cells = min(chunk_timings, key=lambda c: (chunk_timings[c], c))
+
+    gemm_timings: dict[int, float] = {}
+    block_bytes: int | None = None
+    if engine is not None and getattr(engine, "mode", "dense") == "packed":
+        planes = encoded.class_matrix(0)
+        rows = min(4 * block_size * block_size, planes.n_rows)
+        a = planes.select_rows(0, rows)
+        for nbytes in sorted(set(gemm_candidates)):
+            gemm_timings[nbytes] = _best_of(
+                lambda nb_=nbytes: gemm_and_popcount(
+                    a, planes, block_bytes=nb_
+                ),
+                repeats,
+            )
+        block_bytes = min(gemm_timings, key=lambda n: (gemm_timings[n], n))
+
+    return AutotuneDecision(
+        max_chunk_cells=best_cells,
+        block_bytes=block_bytes,
+        chunk_timings=chunk_timings,
+        gemm_timings=gemm_timings,
+        calibration_seconds=time.perf_counter() - t_start,
+    )

@@ -53,8 +53,10 @@ from repro.bitops.bitmatrix import BitMatrix
 from repro.core.apply_score import (
     DEFAULT_MAX_CHUNK_CELLS,
     RoundOperands,
-    apply_score,
+    apply_score_dense,
+    score_round,
 )
+from repro.core.autotune import AutotuneDecision, autotune_applyscore
 from repro.core.blocks import BlockScheme
 from repro.core.operand_cache import CacheStats, OperandCache
 from repro.core.pairwise import LowOrderTables, pairw_pop
@@ -145,6 +147,19 @@ class SearchConfig:
             :func:`repro.device.faults.parse_fault_spec`); ``None`` runs
             fault-free.  Results are bit-identical either way — the
             resilience layer only re-executes idempotent work.
+        score_path: ``"fused"`` (mask-first compacted completion + staged
+            scorer, the default) or ``"dense"`` (the legacy full-grid
+            reference, kept for ablation).  Bit-identical scores either
+            way; only executed score-cell accounting differs.
+        cache_triplets: store fully-completed third-order tables in the
+            round-operand cache under ``("full3", cls, a, b, c)`` keys so
+            each block triple is completed once per sweep instead of once
+            per round.  Only effective when ``cache_mb`` enables the
+            cache; results are bit-identical either way.
+        autotune: run a short calibration pass before the search proper
+            and adopt the fastest ``max_chunk_cells`` (and, in packed
+            mode, packed-GEMM ``block_bytes``) it finds.  Result-neutral:
+            every candidate produces bit-identical scores.
     """
 
     block_size: int = 16
@@ -163,8 +178,15 @@ class SearchConfig:
     backoff_base_ms: float = 10.0
     quarantine_after: int = 2
     inject_faults: str | None = None
+    score_path: str = "fused"
+    cache_triplets: bool = True
+    autotune: bool = False
 
     def __post_init__(self) -> None:
+        if self.score_path not in ("fused", "dense"):
+            raise ValueError(
+                f"score_path must be 'fused' or 'dense', got {self.score_path!r}"
+            )
         if self.block_size < 2:
             raise ValueError(f"block_size must be >= 2, got {self.block_size}")
         if self.n_streams < 1:
@@ -376,6 +398,9 @@ class Epi4TensorSearch:
             self.config.block_size,
             max_chunk_cells=self.config.max_chunk_cells,
             cache_budget_bytes=self.config.cache_budget_bytes,
+            cache_triplets=(
+                self.config.cache_triplets and self.config.score_path == "fused"
+            ),
         )
         check_fits(spec, self.memory_estimate)
         self.cluster = VirtualCluster(
@@ -389,6 +414,19 @@ class Epi4TensorSearch:
                 score = make_score(score)
         self._score_min = normalized_for_minimization(score)
         self._score_name = score.name
+        #: Fused staged-lgamma kernel (K2 only) — bit-identical to
+        #: ``_score_min`` by construction; ``None`` falls back to the
+        #: generic score callable inside :func:`score_round`.
+        self._staged = (
+            score.staged_kernel(encoded.n_samples)
+            if isinstance(score, K2Score)
+            else None
+        )
+        #: ``max_chunk_cells`` actually used by the hot loop; the autotune
+        #: calibration pass may override the configured value per run.
+        self._tuned_chunk_cells = self.config.max_chunk_cells
+        #: Last calibration outcome (``None`` when ``autotune`` is off).
+        self.autotune_decision: AutotuneDecision | None = None
         #: Canonical phase names reported in ``SearchResult.phase_seconds``.
         #: Per-(phase, device) attribution lives in the metrics registry
         #: as ``epi4_phase_seconds_total{phase=..., device=...}`` — the
@@ -396,7 +434,8 @@ class Epi4TensorSearch:
         #: lost per-device attribution when threaded workers finished out
         #: of order.
         self._phase_names = (
-            "encode", "pairwise", "combine", "tensor3", "tensor4", "score"
+            "encode", "pairwise", "combine", "tensor3", "tensor4", "score",
+            "autotune",
         )
         self._encode_seconds = encode_timer.elapsed
         self._run_span = None
@@ -531,6 +570,10 @@ class Epi4TensorSearch:
                 schedule = self._make_schedule()
                 self._prepare_devices()
                 self._cache = OperandCache.create(self.config.cache_mb)
+                self._tuned_chunk_cells = self.config.max_chunk_cells
+                self.autotune_decision = None
+                if self.config.autotune:
+                    self._run_autotune()
             reducer = TopKReducer(self.config.top_k)
             self._global_reducer = reducer
             done: set[int] = set()
@@ -572,6 +615,12 @@ class Epi4TensorSearch:
         if self._cache is not None:
             self._cache.stats.export_metrics(self.metrics)
         self.fault_log.export_metrics(self.metrics)
+        positions = self.metrics.total("epi4_applyscore_positions_total")
+        if positions:
+            self.metrics.set_gauge(
+                "epi4_applyscore_compaction_ratio",
+                self.metrics.total("epi4_applyscore_valid_total") / positions,
+            )
         self.metrics.set_gauge("epi4_wall_seconds", total_timer.elapsed)
         result = SearchResult(
             solution=solution,
@@ -847,6 +896,29 @@ class Epi4TensorSearch:
                 "no device survived dataset transfer; search cannot start"
             )
 
+    def _run_autotune(self) -> None:
+        """Calibrate the applyScore knobs on the live dataset (result-
+        neutral; see :mod:`repro.core.autotune`) and adopt the decision:
+        ``max_chunk_cells`` for the fused scorer and — in packed mode —
+        the packed-GEMM tiling budget on every device's engine."""
+        assert self._low is not None, "_prepare_devices must run first"
+        with self._phase_scope("autotune", "host"):
+            decision = autotune_applyscore(
+                self.encoded,
+                self._low.pairs,
+                self._score_min,
+                block_size=self.scheme.block_size,
+                n_real_snps=self.scheme.n_real_snps,
+                staged_kernel=self._staged,
+                engine=self.cluster.gpus[0].engine,
+            )
+        self._tuned_chunk_cells = decision.max_chunk_cells
+        if decision.block_bytes is not None:
+            for gpu in self.cluster.gpus:
+                gpu.engine.block_bytes = decision.block_bytes
+        decision.export_metrics(self.metrics)
+        self.autotune_decision = decision
+
     def _run_rounds(
         self, executor: "_KernelExecutor", outer_iters: Iterable[int]
     ) -> TopKReducer:
@@ -908,11 +980,13 @@ class Epi4TensorSearch:
                                 offsets=(wo, xo, yo, zo),
                                 block_size=b,
                             )
-                            scores = self._score_round(executor, operands)
+                            scores, score_cells = self._score_round(
+                                executor, operands
+                            )
                             with self._phase_scope(
                                 "score", executor.device_id, span="score"
                             ):
-                                executor.account_score(b**4 * 81 * 2)
+                                executor.account_score(score_cells)
                             with self._phase_scope(
                                 "score", executor.device_id, span="reduce"
                             ):
@@ -940,9 +1014,54 @@ class Epi4TensorSearch:
     # ------------------------------------------------------------------ #
     # Scoring with graceful degradation
 
+    def _apply_score_path(
+        self,
+        executor: "_KernelExecutor",
+        operands: RoundOperands,
+        *,
+        triplet_cache: bool = True,
+    ) -> tuple[np.ndarray, int]:
+        """Run the configured completion+scoring path on one round.
+
+        Returns ``(scores, executed_score_cells)``.  The fused path scores
+        only the mask-compacted positions (and accounts exactly those),
+        serves completed triplets through the executor's ``full3`` hook,
+        and records the ``epi4_applyscore_*`` series; the dense ablation
+        path reproduces the legacy full-grid behaviour.
+        """
+        if self.config.score_path == "dense":
+            scores = apply_score_dense(
+                operands,
+                self._low.pairs,
+                self._score_min,
+                self.scheme.n_real_snps,
+                max_chunk_cells=self._tuned_chunk_cells,
+            )
+            return scores, operands.block_size ** 4 * 81 * 2
+        scores, stats = score_round(
+            operands,
+            self._low.pairs,
+            self._score_min,
+            self.scheme.n_real_snps,
+            max_chunk_cells=self._tuned_chunk_cells,
+            staged_kernel=self._staged,
+            full3_provider=executor.full3 if triplet_cache else None,
+        )
+        dev = str(executor.device_id)
+        self.metrics.inc(
+            "epi4_applyscore_positions_total", stats.positions, device=dev
+        )
+        self.metrics.inc(
+            "epi4_applyscore_valid_total", stats.valid, device=dev
+        )
+        self.metrics.inc(
+            "epi4_applyscore_chunks_total", stats.chunks, device=dev
+        )
+        return scores, stats.valid * 81 * 2
+
     def _score_round(
         self, executor: "_KernelExecutor", operands: RoundOperands
-    ) -> np.ndarray:
+    ) -> tuple[np.ndarray, int]:
         """Score one round, degrading to the independent bitwise path on
         detected corruption instead of aborting.
 
@@ -955,6 +1074,8 @@ class Epi4TensorSearch:
         code — so the degraded round is bit-identical to an uncorrupted
         one.  A round that fails its self-check even on the bitwise path
         indicates host-side corruption and still aborts.
+
+        Returns ``(scores, executed_score_cells)``.
         """
         try:
             if self._fault_plan is not None:
@@ -962,38 +1083,48 @@ class Epi4TensorSearch:
                     operands, self.encoded.n_controls, self.encoded.n_cases
                 )
             with self._phase_scope("score", executor.device_id, span="derive"):
-                scores = apply_score(
-                    operands,
-                    self._low.pairs,
-                    self._score_min,
-                    self.scheme.n_real_snps,
-                    max_chunk_cells=self.config.max_chunk_cells,
-                )
+                scores, cells = self._apply_score_path(executor, operands)
             if self.config.selfcheck:
                 verify_round_best(
                     self.encoded, scores, operands.offsets, self._score_min
                 )
-            return scores
+            return scores, cells
         except SelfCheckError as err:
             return self._degraded_round(executor, operands, err)
+
+    def _purge_round_triplets(self, offsets: tuple[int, int, int, int]) -> None:
+        """Invalidate a round's completed-triplet cache entries.
+
+        Injected corruption is tensor4-only by construction, but a failed
+        self-check means *something* in the pipeline lied — defense in
+        depth drops every ``full3`` entry the round may have admitted so
+        the degraded re-execution (and every later consumer) starts from
+        trusted inputs.
+        """
+        if self._cache is None:
+            return
+        wo, xo, yo, zo = offsets
+        triples = {(wo, xo, yo), (wo, xo, zo), (wo, yo, zo), (xo, yo, zo)}
+        for cls in (0, 1):
+            for triple in triples:
+                self._cache.invalidate(("full3", cls, *triple))
 
     def _degraded_round(
         self,
         executor: "_KernelExecutor",
         operands: RoundOperands,
         err: SelfCheckError,
-    ) -> np.ndarray:
+    ) -> tuple[np.ndarray, int]:
         reason = "corrupt" if isinstance(err, CorruptOutputError) else "selfcheck"
+        self._purge_round_triplets(operands.offsets)
         safe = direct_round_operands(
             self.encoded, operands.offsets, operands.block_size
         )
         with self._phase_scope("score", executor.device_id, span="derive"):
-            scores = apply_score(
-                safe,
-                self._low.pairs,
-                self._score_min,
-                self.scheme.n_real_snps,
-                max_chunk_cells=self.config.max_chunk_cells,
+            # The degraded pass bypasses the triplet cache entirely: its
+            # completions come from the independent corners, unshared.
+            scores, cells = self._apply_score_path(
+                executor, safe, triplet_cache=False
             )
         if self.config.selfcheck:
             # Still wrong on the independent path => the corruption is not
@@ -1003,7 +1134,49 @@ class Epi4TensorSearch:
             )
         wi = operands.offsets[0] // operands.block_size
         self.fault_log.record_degraded_round(executor.device_id, wi, reason)
-        return scores
+        return scores, cells
+
+
+def _full3_lookup(
+    search: "Epi4TensorSearch",
+    counters: KernelCounters,
+    device_id: int,
+    cache: OperandCache | None,
+    cls: int,
+    triple: tuple[int, int, int],
+    factory: Callable[[], np.ndarray],
+) -> tuple[np.ndarray, bool]:
+    """Shared completed-triplet (``full3``) cache hook for both executors.
+
+    The completed 27-cell table of a block triple is a pure function of
+    its (non-decreasing) block offsets — the corner slice is the same
+    sweep output and the completion gathers the same global pair tables
+    whichever round-role the triple plays — so the factory is
+    key-determined *in value* and the single-flight admission works
+    exactly like the combine/sweep entries.  The factory runs host-side
+    completion arithmetic (no device launch), so no launch accounting can
+    be perturbed by which concurrent request computes.
+    """
+    metrics = search.metrics
+    dev = str(device_id)
+    metrics.inc("epi4_operand_requests_total", kind="full3", device=dev)
+    if cache is None or not search.config.cache_triplets:
+        metrics.inc(
+            "epi4_operand_executed_total", kind="full3", device=dev
+        )
+        return factory(), False
+    value, hit, evicted = cache.get_or_compute(
+        ("full3", cls, *triple), factory
+    )
+    counters.record_cache(hit, evicted)
+    metrics.inc(
+        "epi4_operand_cache_served_total"
+        if hit
+        else "epi4_operand_executed_total",
+        kind="full3",
+        device=dev,
+    )
+    return value, hit
 
 
 class _SingleDeviceExecutor:
@@ -1150,6 +1323,26 @@ class _SingleDeviceExecutor:
     def account_score(self, n_cells: int) -> None:
         self._gpu.account_score_cells(n_cells)
 
+    # -- completed-triplet reuse ---------------------------------------- #
+
+    def full3(
+        self,
+        cls: int,
+        triple: tuple[int, int, int],
+        factory: Callable[[], np.ndarray],
+    ) -> tuple[np.ndarray, bool]:
+        """Completed third-order table for a block triple (see
+        :func:`_full3_lookup`)."""
+        return _full3_lookup(
+            self._search,
+            self._gpu.counters,
+            self.device_id,
+            self._cache,
+            cls,
+            triple,
+            factory,
+        )
+
 
 class _SamplePartitionExecutor:
     """Kernel launches fanned across devices by sample range (§4.6's
@@ -1289,6 +1482,24 @@ class _SamplePartitionExecutor:
     def account_score(self, n_cells: int) -> None:
         # Scoring of the merged tables runs on the first device.
         self._gpus[0].account_score_cells(n_cells)
+
+    def full3(
+        self,
+        cls: int,
+        triple: tuple[int, int, int],
+        factory: Callable[[], np.ndarray],
+    ) -> tuple[np.ndarray, bool]:
+        """Completed third-order table for a block triple; completion of
+        the merged corners runs on the first device (like scoring)."""
+        return _full3_lookup(
+            self._search,
+            self._gpus[0].counters,
+            self.device_id,
+            self._cache,
+            cls,
+            triple,
+            factory,
+        )
 
 
 def search_best_quad(

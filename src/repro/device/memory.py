@@ -13,6 +13,7 @@ cannot fit (the same failure the paper reports for [15] at large ``M``).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from math import comb
 
 from repro.bitops.combine import combined_nbytes
 from repro.device.specs import GPUSpec
@@ -80,6 +81,21 @@ def cache_working_set_bytes(
     return total
 
 
+def triplet_working_set_bytes(n_snps: int, block_size: int) -> int:
+    """Total bytes of every cacheable completed third-order table.
+
+    The cross-round triplet cache (``("full3", cls, a, b, c)`` entries in
+    :mod:`repro.core.operand_cache`) stores one completed ``(B, B, B, 27)``
+    int64 table per class per unordered block triple ``(ai <= bi <= ci)``.
+    Like :func:`cache_working_set_bytes`, this bounds the cache's maximum
+    resident set for the §3.3 memory check.
+    """
+    if min(n_snps, block_size) <= 0:
+        raise ValueError("all dimensions must be positive")
+    nb = n_snps // block_size
+    return 2 * comb(nb + 2, 3) * block_size**3 * 27 * 8
+
+
 def estimate_search_memory(
     n_snps: int,
     n_controls: int,
@@ -88,6 +104,7 @@ def estimate_search_memory(
     *,
     max_chunk_cells: int = 32 * 1024 * 1024,
     cache_budget_bytes: float = 0,
+    cache_triplets: bool = False,
 ) -> DeviceMemoryEstimate:
     """Per-device footprint of a fourth-order search (§3.6: every GPU holds
     the full dataset, lgamma table and low-order tables).
@@ -101,6 +118,10 @@ def estimate_search_memory(
             disabled (no component); ``float("inf")`` = unbounded, charged
             at the full :func:`cache_working_set_bytes`.  A finite budget
             is charged at ``min(budget, working set)``.
+        cache_triplets: include completed third-order tables
+            (:func:`triplet_working_set_bytes`) in the cacheable working
+            set — the cross-round triplet-reuse path of the fused
+            ``applyScore``.  Ignored when caching is disabled.
 
     Returns:
         A :class:`DeviceMemoryEstimate`.
@@ -139,6 +160,8 @@ def estimate_search_memory(
         working_set = cache_working_set_bytes(
             n_snps, n_controls, n_cases, block_size
         )
+        if cache_triplets:
+            working_set += triplet_working_set_bytes(n_snps, block_size)
         components["operand cache"] = int(min(cache_budget_bytes, working_set))
     return DeviceMemoryEstimate(components=components)
 

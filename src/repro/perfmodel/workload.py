@@ -37,7 +37,11 @@ class SearchWorkload:
         tensor3_ops: fused-op volume of all ``tensorOp_3way`` GEMMs.
         combine_bit_ops: bitwise AND volume of all ``combine`` launches.
         pairwise_ops: plane-dot volume of ``pairwPop``.
-        score_cells: 81-cell-table cells completed and scored.
+        score_cells: 81-cell-table cells completed and scored by the
+            mask-first compacted ``applyScore`` (the default path): every
+            *unique* combination is valid in exactly one round, so the
+            total is ``81 * 2 * C(M_real, 4)``.  The legacy dense path
+            materializes the full grid — see :attr:`score_cells_dense`.
         transfer_bytes: dataset bytes shipped to one device.
         n_rounds: evaluation rounds.
         quads_processed: positional quads (incl. repeats).
@@ -64,6 +68,19 @@ class SearchWorkload:
         return self.tensor4_ops + self.tensor3_ops
 
     @property
+    def score_cells_dense(self) -> int:
+        """Cells materialized by the legacy dense ``applyScore`` path, which
+        completes the full ``B^4`` grid of every round before masking."""
+        return self.n_rounds * self.block_size**4 * 81 * 2
+
+    @property
+    def compaction_ratio(self) -> float:
+        """Fraction of dense score cells the mask-first path actually
+        completes and scores.  Equals :attr:`useful_fraction` because each
+        unique combination is valid in exactly one round."""
+        return self.score_cells / self.score_cells_dense
+
+    @property
     def useful_fraction(self) -> float:
         return self.unique_quads / self.quads_processed
 
@@ -78,6 +95,19 @@ class SearchWorkload:
         the combination scheme; ~``32 / useful_fraction`` plus 3-way terms).
         """
         return self.tensor_ops / self.scaled_quads
+
+
+def unique_block_triples(nb: int) -> int:
+    """Number of unordered block triples ``(ai <= bi <= ci)``.
+
+    With the cross-round triplet cache on (and an unbounded budget), each
+    completed third-order table is computed once per class per unique block
+    triple, so ``complete_threeway`` executions collapse from
+    ``4 * 2 * count_rounds(nb)`` role slots to ``2 * unique_block_triples(nb)``
+    (for padding-free configurations with ``B >= 4``, where no round is
+    empty of valid quads).
+    """
+    return comb(nb + 2, 3)
 
 
 def outer_iteration_tensor_ops(
@@ -162,7 +192,9 @@ def search_workload(
         combine_ops += n_rounds * (4 * b * b) * n_samples  # yz combine
 
     pairwise = 2 * (2 * m) * (2 * m) * n_samples  # plane-dot volume, both classes
-    score_cells = n_rounds * b**4 * 81 * 2
+    # Mask-first compacted applyScore: only *valid* positions are completed
+    # and scored, and every unique combination is valid in exactly one round.
+    score_cells = unique_combinations(real) * 81 * 2
     transfer = (2 * m * n_samples) // 8  # dataset bits -> bytes (both classes)
 
     return SearchWorkload(

@@ -115,6 +115,38 @@ def format_search_report(
         )
         add("")
 
+    if (
+        result.metrics is not None
+        and "epi4_applyscore_positions_total" in result.metrics.names()
+    ):
+        m = result.metrics
+        positions = m.total("epi4_applyscore_positions_total")
+        valid = m.total("epi4_applyscore_valid_total")
+        add("applyScore (mask-first compaction)")
+        add(_rule())
+        add(
+            f"  grid positions      : {int(positions):,} "
+            f"({int(valid):,} valid, "
+            f"{100 * valid / positions if positions else 0.0:.1f}% completed "
+            "and scored)"
+        )
+        full3_req = m.total("epi4_operand_requests_total", kind="full3")
+        if full3_req:
+            full3_exec = m.total("epi4_operand_executed_total", kind="full3")
+            full3_hits = m.total("epi4_operand_cache_served_total", kind="full3")
+            add(
+                f"  full3 tables        : {int(full3_req)} requests = "
+                f"{int(full3_exec)} completed + {int(full3_hits)} reused"
+            )
+        if "epi4_applyscore_autotune_chunk_cells" in m.names():
+            chunk = m.value("epi4_applyscore_autotune_chunk_cells")
+            cal = m.value("epi4_applyscore_autotune_calibration_seconds")
+            add(
+                f"  autotuned chunking  : {int(chunk):,} cells "
+                f"({cal * 1e3:.0f} ms calibration)"
+            )
+        add("")
+
     if result.metrics is not None:
         add("observability (per-device attribution)")
         add(_rule())

@@ -20,6 +20,83 @@ from repro.scoring.base import ScoreFunction
 from repro.scoring.lgamma_table import LgammaTable
 
 
+class StagedK2Kernel:
+    """Fused K2 evaluation over flat int64 cell batches (paper §3.5).
+
+    Instead of materializing the three float intermediates
+    ``lgamma(total + 2)``, ``lgamma(r1 + 1)``, ``lgamma(r0 + 1)`` through
+    explicit ``n + k`` index arithmetic, the kernel pre-shifts the lgamma
+    table into two read-only views — ``plus2[n] == lgamma(n + 2)`` and
+    ``plus1[n] == lgamma(n + 1)`` — and gathers them *directly* on the raw
+    count arrays.  The float lookups, the elementwise ``a - b - c`` order
+    and the trailing-axis ``sum`` are exactly those of
+    :meth:`K2Score.__call__`, so results are bit-identical; only the integer
+    index temporaries disappear.
+    """
+
+    name = "k2-staged"
+    higher_is_better = False
+
+    def __init__(self, table: LgammaTable) -> None:
+        self._table = table
+        #: ``lgamma(n + 2)`` at index ``n``.
+        self._plus2 = table.shifted(2)
+        #: ``lgamma(n + 1)`` at index ``n``.
+        self._plus1 = table.shifted(1)
+        #: Largest per-cell *total* count the views can serve.
+        self.max_total = table.max_argument - 2
+
+    @property
+    def table(self) -> LgammaTable:
+        return self._table
+
+    def score_flat(self, r0_cells: np.ndarray, r1_cells: np.ndarray) -> np.ndarray:
+        """Score ``(..., C)`` int64 cell batches; returns ``(...)`` float64.
+
+        The trailing axis holds the ``C = 3^k`` genotype cells of each
+        table.  Inputs must already be int64 (the completion pipeline
+        produces int64 counts end to end); negative counts or totals beyond
+        the table raise ``IndexError`` rather than silently wrapping
+        through the fancy gather.
+        """
+        if r0_cells.shape != r1_cells.shape:
+            raise ValueError(
+                f"class tables disagree: {r0_cells.shape} vs {r1_cells.shape}"
+            )
+        total = r0_cells + r1_cells
+        if total.size and (
+            int(r0_cells.min()) < 0
+            or int(r1_cells.min()) < 0
+            or int(total.max()) > self.max_total
+        ):
+            raise IndexError(
+                "count out of staged-lgamma range "
+                f"[0, {self.max_total}]: r0 min={r0_cells.min()}, "
+                f"r1 min={r1_cells.min()}, total max={total.max()}"
+            )
+        return (
+            self._plus2[total] - self._plus1[r1_cells] - self._plus1[r0_cells]
+        ).sum(axis=-1)
+
+    def __call__(
+        self,
+        controls_table: np.ndarray,
+        cases_table: np.ndarray,
+        order: int | None = None,
+    ) -> np.ndarray:
+        """Score arbitrary ``(..., 3, ..., 3)`` tables (ScoreFunction shim)."""
+        r0 = ScoreFunction._flatten_cells(
+            np.asarray(controls_table, dtype=np.int64), order
+        )
+        r1 = ScoreFunction._flatten_cells(
+            np.asarray(cases_table, dtype=np.int64), order
+        )
+        return self.score_flat(r0, r1)
+
+    def __repr__(self) -> str:
+        return f"StagedK2Kernel(max_total={self.max_total})"
+
+
 class K2Score(ScoreFunction):
     """K2 Bayesian score with an integer-lgamma lookup table.
 
@@ -40,6 +117,25 @@ class K2Score(ScoreFunction):
         if self._table is None or self._table.max_argument < max_total + 2:
             self._table = LgammaTable(max(max_total + 2, 1))
         return self._table
+
+    def staged_kernel(self, n_samples: int | None = None) -> StagedK2Kernel:
+        """Build the fused :class:`StagedK2Kernel` sharing this score's table.
+
+        Args:
+            n_samples: when given, guarantees the backing table covers
+                ``lgamma(n_samples + 2)`` (growing it if needed) so the hot
+                loop never regrows.  When omitted the current table is used
+                as-is and must already be right-sized.
+        """
+        if n_samples is not None:
+            table = self._table_for(int(n_samples))
+        elif self._table is not None:
+            table = self._table
+        else:
+            raise ValueError(
+                "staged_kernel() needs either a prebuilt table or n_samples"
+            )
+        return StagedK2Kernel(table)
 
     def __call__(
         self,

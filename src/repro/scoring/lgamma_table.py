@@ -38,6 +38,22 @@ class LgammaTable:
         """
         return cls(n_samples + 2)
 
+    def shifted(self, shift: int) -> np.ndarray:
+        """Read-only view ``V`` with ``V[n] == lgamma(n + shift)``.
+
+        The fused scorer gathers ``lgamma(n + 2)`` / ``lgamma(n + 1)``
+        directly on raw int64 count arrays; pre-shifting the table turns
+        each of those into a single fancy-index with no ``n + k``
+        temporary.  ``V`` indexes ``n = 0 .. max_argument - shift``.
+        """
+        if not 0 <= shift <= self.max_argument:
+            raise ValueError(
+                f"shift must be in [0, {self.max_argument}], got {shift}"
+            )
+        view = self._values[shift:]
+        view.flags.writeable = False
+        return view
+
     def __call__(self, arguments: np.ndarray) -> np.ndarray:
         """Vectorized lookup: ``lgamma(arguments)`` for integer arguments."""
         idx = np.asarray(arguments)

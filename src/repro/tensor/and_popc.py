@@ -44,4 +44,4 @@ class AndPopcEngine(BinaryTensorEngine):
         self._record(a, b)
         if self.mode == "dense":
             return dense_dot_counts(a, b)
-        return gemm_and_popcount(a, b)
+        return gemm_and_popcount(a, b, block_bytes=self.block_bytes)

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.bitops.bitmatrix import BitMatrix
+from repro.tensor.gemm_packed import DEFAULT_BLOCK_BYTES
 
 #: Execution paths shared by all engines.
 EXECUTION_MODES = ("dense", "packed")
@@ -49,6 +50,10 @@ class BinaryTensorEngine(abc.ABC):
         mode: ``"dense"`` (bit-planes unpacked to float32, BLAS matmul — the
             fast path) or ``"packed"`` (blocked popcount over uint64 words —
             the reference path).  Both produce identical integers.
+        block_bytes: intermediate-buffer budget per packed-GEMM block (the
+            tiling knob of :mod:`repro.tensor.gemm_packed`); ignored by the
+            dense path.  The applyScore autotuner may retune this between
+            calibration and the search proper.
     """
 
     #: Human-readable engine name; subclasses override.
@@ -56,10 +61,16 @@ class BinaryTensorEngine(abc.ABC):
     #: Operation the hardware model fuses with POPC ("and" or "xor").
     native_op: str = "none"
 
-    def __init__(self, mode: str = "dense") -> None:
+    def __init__(
+        self, mode: str = "dense", block_bytes: int = DEFAULT_BLOCK_BYTES
+    ) -> None:
         if mode not in EXECUTION_MODES:
             raise ValueError(f"mode must be one of {EXECUTION_MODES}, got {mode!r}")
+        if block_bytes < 1:
+            raise ValueError(f"block_bytes must be >= 1, got {block_bytes}")
         self.mode = mode
+        #: Packed-path tiling budget; mutable so the autotuner can retune.
+        self.block_bytes = int(block_bytes)
         #: Shapes of GEMMs launched since the last :meth:`reset_shapes` call.
         self.last_shapes: list[GemmShape] = []
 
@@ -85,12 +96,16 @@ class BinaryTensorEngine(abc.ABC):
         return f"{type(self).__name__}(mode={self.mode!r})"
 
 
-def make_engine(kind: str, mode: str = "dense") -> BinaryTensorEngine:
+def make_engine(
+    kind: str, mode: str = "dense", block_bytes: int = DEFAULT_BLOCK_BYTES
+) -> BinaryTensorEngine:
     """Engine factory.
 
     Args:
         kind: ``"and_popc"`` (Ampere-style) or ``"xor_popc"`` (Turing-style).
         mode: execution path, see :class:`BinaryTensorEngine`.
+        block_bytes: packed-path tiling budget, see
+            :class:`BinaryTensorEngine`.
     """
     from repro.tensor.and_popc import AndPopcEngine
     from repro.tensor.xor_popc import XorPopcEngine
@@ -98,4 +113,4 @@ def make_engine(kind: str, mode: str = "dense") -> BinaryTensorEngine:
     kinds = {"and_popc": AndPopcEngine, "xor_popc": XorPopcEngine}
     if kind not in kinds:
         raise ValueError(f"kind must be one of {sorted(kinds)}, got {kind!r}")
-    return kinds[kind](mode=mode)
+    return kinds[kind](mode=mode, block_bytes=block_bytes)

@@ -18,12 +18,22 @@ from repro.bitops.popcount import popcount_u64
 DEFAULT_BLOCK_BYTES = 1 << 26  # 64 MiB
 
 
-def _block_rows(n_words: int, block_bytes: int) -> int:
-    """Rows per operand block so the AND intermediate fits the budget."""
+def _block_rows(
+    n_words: int, block_bytes: int, max_rows: int | None = None
+) -> int:
+    """Rows per operand block so the AND intermediate fits the budget.
+
+    Clamped to ``max_rows`` (the actual operand row count) so degenerate
+    operands — ``n_words == 0`` word-less matrices, or budgets far larger
+    than the problem — never produce a block size wildly beyond the data.
+    """
     # The intermediate is (rows_a x rows_b x n_words) uint64; choose a square
     # block: rows^2 * n_words * 8 <= block_bytes.
     rows = int((block_bytes / (8 * max(n_words, 1))) ** 0.5)
-    return max(rows, 1)
+    rows = max(rows, 1)
+    if max_rows is not None:
+        rows = min(rows, max(int(max_rows), 1))
+    return rows
 
 
 def _gemm_popcount(
@@ -34,7 +44,9 @@ def _gemm_popcount(
             f"operand bit widths differ: {a.n_bits} vs {b.n_bits}"
         )
     out = np.empty((a.n_rows, b.n_rows), dtype=np.int64)
-    rows = _block_rows(a.n_words, block_bytes)
+    rows = _block_rows(
+        a.n_words, block_bytes, max_rows=max(a.n_rows, b.n_rows)
+    )
     for i0 in range(0, a.n_rows, rows):
         a_block = a.data[i0 : i0 + rows]
         for j0 in range(0, b.n_rows, rows):

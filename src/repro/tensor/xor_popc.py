@@ -78,7 +78,7 @@ class XorPopcEngine(BinaryTensorEngine):
             return (
                 a.row_popcounts()[:, None] + b.row_popcounts()[None, :] - 2 * dots
             )
-        return gemm_xor_popcount(a, b)
+        return gemm_xor_popcount(a, b, block_bytes=self.block_bytes)
 
     def matmul_popcount(self, a: BitMatrix, b: BitMatrix) -> np.ndarray:
         xor_counts = self.raw_xor_popcount(a, b)

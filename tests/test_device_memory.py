@@ -9,6 +9,7 @@ from repro.device.memory import (
     cache_working_set_bytes,
     check_fits,
     estimate_search_memory,
+    triplet_working_set_bytes,
 )
 from repro.device.specs import A100_PCIE, TITAN_RTX
 
@@ -91,7 +92,9 @@ class TestCacheBudget:
         ds = generate_random_dataset(24, 160, seed=7)
         search = Epi4TensorSearch(ds, SC(block_size=4, cache_mb=float("inf")))
         res = search.run()
-        ws = cache_working_set_bytes(res.block_scheme.n_snps, 80, 80, 4)
+        m = res.block_scheme.n_snps
+        ws = cache_working_set_bytes(m, 80, 80, 4)
+        ws += triplet_working_set_bytes(m, 4)  # full3 entries share the cache
         assert res.cache_stats.peak_bytes <= ws
 
     def test_search_estimate_includes_cache(self):

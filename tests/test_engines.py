@@ -129,6 +129,51 @@ class TestPackedGemm:
         with pytest.raises(ValueError, match="widths differ"):
             gemm_and_popcount(BitMatrix.zeros(1, 64), BitMatrix.zeros(1, 128))
 
+    def test_zero_word_operands(self):
+        # Regression: n_words == 0 (bit-less matrices) must not divide by
+        # zero or blow the tile size — the result is an all-zero count grid.
+        a, b = BitMatrix.zeros(3, 0), BitMatrix.zeros(2, 0)
+        np.testing.assert_array_equal(
+            gemm_and_popcount(a, b), np.zeros((3, 2), dtype=np.int64)
+        )
+        np.testing.assert_array_equal(
+            gemm_xor_popcount(a, b), np.zeros((3, 2), dtype=np.int64)
+        )
+
+    def test_tiny_budget_still_progresses(self):
+        # Regression: a budget below one row's bytes must clamp to 1-row
+        # tiles, not stall at zero rows.
+        rng = np.random.default_rng(5)
+        a = BitMatrix.from_bool(rng.random((5, 130)) < 0.5)
+        b = BitMatrix.from_bool(rng.random((4, 130)) < 0.5)
+        np.testing.assert_array_equal(
+            gemm_and_popcount(a, b, block_bytes=1),
+            gemm_and_popcount(a, b),
+        )
+
+    def test_block_rows_clamped_to_operands(self):
+        from repro.tensor.gemm_packed import _block_rows
+
+        # A huge budget must not size tiles beyond the actual row counts.
+        assert _block_rows(0, 1 << 30, max_rows=5) == 5
+        assert _block_rows(4, 1 << 30, max_rows=7) == 7
+        # Degenerate inputs still yield at least one row per tile.
+        assert _block_rows(4, 1) == 1
+        assert _block_rows(0, 1, max_rows=0) == 1
+
+    def test_engine_block_bytes_knob(self):
+        # The autotuner retunes engines in place; the knob must flow into
+        # the packed GEMM and stay result-neutral.
+        rng = np.random.default_rng(6)
+        a = BitMatrix.from_bool(rng.random((6, 200)) < 0.5)
+        b = BitMatrix.from_bool(rng.random((5, 200)) < 0.5)
+        eng = AndPopcEngine("packed")
+        ref = eng.matmul_popcount(a, b)
+        eng.block_bytes = 64
+        np.testing.assert_array_equal(eng.matmul_popcount(a, b), ref)
+        with pytest.raises(ValueError, match="block_bytes"):
+            AndPopcEngine("packed", block_bytes=0)
+
 
 class TestFactory:
     def test_kinds(self):

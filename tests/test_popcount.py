@@ -39,3 +39,42 @@ def test_rows_sums_last_axis(words):
 
 def test_output_dtype_int64():
     assert popcount_u64(np.array([1], dtype=np.uint64)).dtype == np.int64
+
+
+def test_noncontiguous_input_matches_contiguous():
+    # Regression for the no-copy fast path: strided / transposed views and
+    # overlong slices still produce correct counts (the copy branch).
+    rng = np.random.default_rng(0)
+    base = rng.integers(0, 2**63, size=(6, 10), dtype=np.uint64)
+    strided = base[::2, ::3]
+    assert not strided.flags.c_contiguous
+    np.testing.assert_array_equal(
+        popcount_u64(strided), popcount_u64(np.ascontiguousarray(strided))
+    )
+    np.testing.assert_array_equal(
+        popcount_u64(base.T), popcount_u64(np.ascontiguousarray(base.T))
+    )
+
+
+def test_non_uint64_input_coerced():
+    np.testing.assert_array_equal(
+        popcount_u64(np.array([3, 7], dtype=np.int64).astype(np.uint64)),
+        [2, 3],
+    )
+    # Lists and smaller dtypes go through the coercion branch.
+    np.testing.assert_array_equal(
+        popcount_u64(np.array([255], dtype=np.uint64)), [8]
+    )
+
+
+def test_contiguous_uint64_skips_copy(monkeypatch):
+    # The hot path must not clone freshly materialized contiguous buffers.
+    import repro.bitops.popcount as pc
+
+    def _boom(*a, **k):  # pragma: no cover - only fires on regression
+        raise AssertionError("ascontiguousarray called on fast path")
+
+    monkeypatch.setattr(pc.np, "ascontiguousarray", _boom)
+    words = np.array([[1, 2], [4, 8]], dtype=np.uint64)
+    assert words.flags.c_contiguous
+    np.testing.assert_array_equal(popcount_u64(words), [[1, 1], [1, 1]])

@@ -317,7 +317,7 @@ class TestSearchConservation:
         )
         search.run()
         m = search.metrics
-        for kind in ("combine", "sweep"):
+        for kind in ("combine", "sweep", "full3"):
             req = m.total("epi4_operand_requests_total", kind=kind)
             exe = m.total("epi4_operand_executed_total", kind=kind)
             srv = m.total("epi4_operand_cache_served_total", kind=kind)
@@ -325,6 +325,37 @@ class TestSearchConservation:
             assert req > 0
         if cache_mb is None:
             assert m.total("epi4_operand_cache_served_total") == 0
+
+    @given(
+        seed=st.integers(0, 2**16),
+        n_snps=st.sampled_from([10, 12, 14, 16]),
+        cache_triplets=st.booleans(),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_applyscore_valid_positions_conserved(
+        self, seed, n_snps, cache_triplets
+    ):
+        # Every unique 4-way combination of *real* SNPs is valid in exactly
+        # one round, so the mask-compacted valid-position total over a run
+        # is C(M_real, 4) regardless of padding, seed or triplet caching;
+        # the compaction gauge is the block scheme's useful fraction.
+        from math import comb
+
+        from repro.datasets import generate_random_dataset
+
+        ds = generate_random_dataset(n_snps, 64, seed=seed)
+        search = Epi4TensorSearch(
+            ds,
+            SearchConfig(block_size=4, top_k=2, cache_triplets=cache_triplets),
+        )
+        result = search.run()
+        m = search.metrics
+        valid = m.total("epi4_applyscore_valid_total")
+        assert valid == comb(n_snps, 4)
+        positions = m.total("epi4_applyscore_positions_total")
+        assert positions == result.block_scheme.quads_processed
+        gauge = m.value("epi4_applyscore_compaction_ratio")
+        assert gauge == pytest.approx(result.block_scheme.useful_fraction)
 
     @given(seed=st.integers(0, 2**16))
     @settings(max_examples=6, deadline=None)

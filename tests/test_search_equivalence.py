@@ -196,6 +196,120 @@ class TestCheckpointResume:
         assert min(lockless_best) == res.best_score
 
 
+class TestFusedScorePathEquivalence:
+    """The fused applyScore (mask-first compaction + staged scorer +
+    cross-round triplet reuse) must be bit-identical to the dense legacy
+    path, with or without the triplet cache, chunking, autotune or faults.
+    """
+
+    @pytest.mark.parametrize("engine_kind", ["and_popc", "xor_popc"])
+    @pytest.mark.parametrize("mode", ["dense", "packed"])
+    def test_dense_path_matches_fused_grid(self, engine_kind, mode):
+        ds = generate_random_dataset(14, 120, seed=17)
+        base = dict(
+            block_size=4, engine_kind=engine_kind, engine_mode=mode, top_k=4
+        )
+        fused = _run(ds, cache_mb=float("inf"), **base)
+        dense = _run(ds, score_path="dense", **base)
+        _assert_identical(fused, dense)
+
+    def test_triplet_cache_off_matches_on(self):
+        ds = generate_random_dataset(20, 140, seed=4)
+        base = dict(block_size=4, top_k=5, cache_mb=float("inf"))
+        on = _run(ds, **base)
+        off = _run(ds, cache_triplets=False, **base)
+        _assert_identical(on, off)
+
+    def test_tiny_chunks_match_default(self):
+        ds = generate_random_dataset(16, 120, seed=6)
+        default = _run(ds, block_size=4, top_k=3)
+        tiny = _run(ds, block_size=4, top_k=3, max_chunk_cells=81)
+        _assert_identical(default, tiny)
+
+    def test_autotune_is_result_neutral(self):
+        ds = generate_random_dataset(16, 120, seed=9)
+        plain = _run(ds, block_size=4, top_k=3)
+        tuned = _run(ds, block_size=4, top_k=3, autotune=True)
+        _assert_identical(plain, tuned)
+
+    def test_full3_executions_collapse_to_unique_triples(self):
+        # Unbounded cache, no padding, B >= 4: every completed third-order
+        # table is computed exactly once per class per unique block triple
+        # (instead of once per role slot per round), and the request
+        # invariant holds for the new operand kind.
+        from repro.perfmodel.workload import unique_block_triples
+
+        ds = generate_random_dataset(16, 120, seed=12)
+        search = Epi4TensorSearch(
+            ds, SearchConfig(block_size=4, cache_mb=float("inf"))
+        )
+        search.run()
+        m = search.metrics
+        nb = search.scheme.nb
+        req = m.total("epi4_operand_requests_total", kind="full3")
+        exe = m.total("epi4_operand_executed_total", kind="full3")
+        srv = m.total("epi4_operand_cache_served_total", kind="full3")
+        assert req == exe + srv
+        assert exe == 2 * unique_block_triples(nb)
+        # Without the cross-round cache, every round recompletes its own
+        # (locally deduped) role slots — strictly more executions.
+        search_off = Epi4TensorSearch(
+            ds,
+            SearchConfig(
+                block_size=4, cache_mb=float("inf"), cache_triplets=False
+            ),
+        )
+        search_off.run()
+        exe_off = search_off.metrics.total(
+            "epi4_operand_executed_total", kind="full3"
+        )
+        assert exe_off > exe
+        assert search_off.metrics.total(
+            "epi4_operand_cache_served_total", kind="full3"
+        ) == 0
+
+    def test_compaction_metrics_match_scheme(self):
+        ds = generate_random_dataset(20, 120, seed=3)
+        search = Epi4TensorSearch(ds, SearchConfig(block_size=4))
+        res = search.run()
+        m = search.metrics
+        scheme = res.block_scheme
+        assert m.total("epi4_applyscore_positions_total") == (
+            scheme.quads_processed
+        )
+        assert m.total("epi4_applyscore_valid_total") == (
+            scheme.unique_quads
+        )
+        assert m.value("epi4_applyscore_compaction_ratio") == (
+            pytest.approx(scheme.useful_fraction)
+        )
+        # Executed score cells follow the compacted volume.
+        assert res.counters.score_cells == scheme.unique_quads * 81 * 2
+
+    def test_dense_path_keeps_dense_accounting(self):
+        ds = generate_random_dataset(16, 120, seed=3)
+        res = _run(ds, block_size=4, score_path="dense")
+        wl = search_workload(res.block_scheme.n_snps, 120, 4)
+        assert res.counters.score_cells == wl.score_cells_dense
+
+    def test_fused_paths_match_under_faults(self):
+        # Degraded rounds purge the round's triplets and rebuild through
+        # the independent path — still bit-identical to the dense baseline.
+        ds = generate_random_dataset(16, 120, seed=21)
+        dense = _run(ds, block_size=4, top_k=3, score_path="dense")
+        spec = "corrupt:count=3;seed=5"
+        fused = _run(
+            ds,
+            block_size=4,
+            top_k=3,
+            cache_mb=float("inf"),
+            inject_faults=spec,
+            max_retries=0,
+        )
+        _assert_identical(dense, fused)
+        assert fused.fault_log.total_degraded_rounds > 0
+
+
 class TestSatelliteFixes:
     def test_quads_per_second_scaled_zero_wall(self):
         # Satellite: a zero wall clock must yield 0.0, not inf.

@@ -74,6 +74,28 @@ class BitMatrix:
             n_bits=n_bits,
         )
 
+    @classmethod
+    def vstack(cls, matrices: list["BitMatrix"]) -> "BitMatrix":
+        """Row-concatenate matrices of identical bit width.
+
+        This is how ``matmul_popcount_batch`` builds the stacked operand of
+        a fused launch; the packed layout concatenates without re-packing.
+        """
+        if not matrices:
+            raise ValueError("vstack needs at least one matrix")
+        n_bits = matrices[0].n_bits
+        for m in matrices[1:]:
+            if m.n_bits != n_bits:
+                raise ValueError(
+                    f"cannot vstack differing bit widths: {m.n_bits} vs {n_bits}"
+                )
+        if len(matrices) == 1:
+            return matrices[0]
+        return cls(
+            data=np.concatenate([m.data for m in matrices], axis=0),
+            n_bits=n_bits,
+        )
+
     def to_bool(self) -> np.ndarray:
         """Unpack to a ``(R, K)`` boolean array."""
         as_bytes = self.data.view(np.uint8)
@@ -82,7 +104,42 @@ class BitMatrix:
 
     def to_float32(self) -> np.ndarray:
         """Unpack to ``(R, K)`` float32 0/1 — the dense-GEMM operand form."""
-        return self.to_bool().astype(np.float32)
+        return self.dense_operand(np.float32)
+
+    def dense_operand(
+        self, dtype: np.dtype | type = np.float32, *, memoize: bool = False
+    ) -> np.ndarray:
+        """Unpacked ``(R, K)`` 0/1 matrix of ``dtype`` — the dense-GEMM
+        operand form.
+
+        With ``memoize=True`` the unpacked planes are cached on the instance
+        (read-only, one dtype at a time), so repeated GEMMs against the same
+        operand — e.g. one ``wx`` against a whole batch of ``yz`` — unpack
+        it once.  Callers that memoize are responsible for accounting the
+        extra bytes (see :meth:`projected_dense_nbytes`).
+        """
+        dtype = np.dtype(dtype)
+        if memoize:
+            memo = getattr(self, "_dense_memo", None)
+            if memo is not None and memo[0] == dtype:
+                return memo[1]
+        dense = self.to_bool().astype(dtype)
+        if memoize:
+            dense.setflags(write=False)
+            # Benign race under threads: both sides compute identical
+            # read-only planes and the last assignment wins.
+            object.__setattr__(self, "_dense_memo", (dtype, dense))
+        return dense
+
+    @property
+    def dense_memo_nbytes(self) -> int:
+        """Bytes currently held by the memoized dense planes (0 if none)."""
+        memo = getattr(self, "_dense_memo", None)
+        return int(memo[1].nbytes) if memo is not None else 0
+
+    def projected_dense_nbytes(self, dtype: np.dtype | type = np.float32) -> int:
+        """Bytes the dense memo for ``dtype`` would occupy if populated."""
+        return self.n_rows * self.n_bits * np.dtype(dtype).itemsize
 
     # ------------------------------------------------------------------ #
     # Shape

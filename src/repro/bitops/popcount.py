@@ -14,6 +14,8 @@ compatibility layer).
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 #: 256-entry byte popcount table (built once at import).
@@ -23,11 +25,31 @@ _BYTE_POPCOUNT = np.array(
 
 _HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
 
+#: Per-thread scratch for the LUT path: the byte-count intermediate is
+#: written into a reused buffer instead of materializing a fresh full-size
+#: temporary per call (the old fancy-index path allocated two).
+_LUT_SCRATCH = threading.local()
+
+
+def _lut_scratch(n: int) -> np.ndarray:
+    buf = getattr(_LUT_SCRATCH, "buf", None)
+    if buf is None or buf.size < n:
+        buf = np.empty(n, dtype=np.uint8)
+        _LUT_SCRATCH.buf = buf
+    return buf[:n]
+
 
 def _popcount_u64_lut(words: np.ndarray) -> np.ndarray:
     """Byte-LUT popcount of each ``uint64`` element (reference/fallback)."""
-    as_bytes = words.view(np.uint8).reshape(words.shape + (8,))
-    return _BYTE_POPCOUNT[as_bytes].sum(axis=-1, dtype=np.int64)
+    if not (
+        isinstance(words, np.ndarray)
+        and words.dtype == np.uint64
+        and words.flags.c_contiguous
+    ):
+        words = np.ascontiguousarray(words, dtype=np.uint64)
+    as_bytes = words.reshape(-1).view(np.uint8)
+    counts = np.take(_BYTE_POPCOUNT, as_bytes, out=_lut_scratch(as_bytes.size))
+    return counts.reshape(words.shape + (8,)).sum(axis=-1, dtype=np.int64)
 
 
 def popcount_u64(words: np.ndarray) -> np.ndarray:

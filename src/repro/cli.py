@@ -83,6 +83,23 @@ def _add_search(sub: argparse._SubParsersAction) -> None:
         "instead of the default or autotuned value",
     )
     p.add_argument(
+        "--batch-rounds", type=int, default=1, metavar="R",
+        help="evaluation rounds fused per batched GEMM launch group "
+        "(1 = one launch per round, the seed loop; results are "
+        "bit-identical for any value)",
+    )
+    p.add_argument(
+        "--n-streams", type=int, default=1, metavar="S",
+        help="concurrent rounds per device: feeds the stream performance "
+        "model and, unless --no-overlap, stages S-1 round groups ahead "
+        "on a host stream while the current group scores",
+    )
+    p.add_argument(
+        "--no-overlap", action="store_true",
+        help="disable stage/score overlap (operand staging then runs "
+        "inline on the scoring thread; results are bit-identical)",
+    )
+    p.add_argument(
         "--host-threads", type=int, default=None, metavar="T",
         help="host worker threads driving the devices (default: one per "
         "GPU, capped at the host CPU count)",
@@ -237,6 +254,9 @@ def _cmd_search(args: argparse.Namespace) -> int:
             cache_triplets=not args.no_cache_triplets,
             autotune=args.autotune,
             cache_mb=args.cache_mb,
+            batch_rounds=args.batch_rounds,
+            n_streams=args.n_streams,
+            overlap=not args.no_overlap,
             host_threads=args.host_threads,
             max_retries=args.max_retries,
             backoff_base_ms=args.backoff_base_ms,
@@ -287,11 +307,23 @@ def _cmd_search(args: argparse.Namespace) -> int:
             ratio = result.metrics.value("epi4_applyscore_compaction_ratio")
             print(f"applyScore: {100 * ratio:.1f}% of grid cells completed "
                   "(mask-first compaction)")
+        if config.batch_rounds > 1 or config.n_streams > 1:
+            launches = result.counters.launches
+            problems = result.counters.gemm_problems
+            t4 = launches.get("tensor4", 0)
+            t4_problems = problems.get("tensor4", t4)
+            overlap_s = result.metrics.total("epi4_stage_overlap_seconds_total")
+            print(f"batching  : {t4_problems} tensor4 GEMMs in {t4} launches "
+                  f"(batch_rounds={config.batch_rounds}, "
+                  f"n_streams={config.n_streams}, "
+                  f"{overlap_s:.2f}s staged off the scoring thread)")
         if search.autotune_decision is not None:
             dec = search.autotune_decision
             tuned = f"chunk_cells={dec.max_chunk_cells}"
             if dec.block_bytes is not None:
                 tuned += f", block_bytes={dec.block_bytes}"
+            if dec.batch_rounds is not None:
+                tuned += f", batch_rounds={dec.batch_rounds}"
             print(f"autotune  : {tuned} "
                   f"({dec.calibration_seconds * 1e3:.0f} ms calibration)")
         if result.cache_stats is not None:

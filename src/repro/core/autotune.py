@@ -33,8 +33,10 @@ from typing import Callable
 
 import numpy as np
 
+from repro.bitops.combine import combine_blocks
 from repro.core.apply_score import DEFAULT_MAX_CHUNK_CELLS, score_round
 from repro.core.selfcheck import direct_round_operands
+from repro.tensor.engine import make_engine
 from repro.tensor.gemm_packed import (
     DEFAULT_BLOCK_BYTES,
     gemm_and_popcount,
@@ -57,6 +59,9 @@ GEMM_BLOCK_CANDIDATES: tuple[int, ...] = (
     DEFAULT_BLOCK_BYTES,
 )
 
+#: Candidate round batch sizes for the batched-GEMM pipeline.
+BATCH_ROUND_CANDIDATES: tuple[int, ...] = (1, 2, 4, 8, 16)
+
 
 @dataclass(frozen=True)
 class AutotuneDecision:
@@ -68,6 +73,10 @@ class AutotuneDecision:
             engine runs the dense path and the knob is inert).
         chunk_timings: measured best-of-``repeats`` seconds per candidate.
         gemm_timings: same for the tiling candidates (empty in dense mode).
+        batch_rounds: chosen round batch size for the batched-GEMM
+            pipeline (``None`` when batching was not requested and the
+            axis was skipped).
+        batch_timings: measured seconds per batch-size candidate.
         calibration_seconds: total wall time spent calibrating.
     """
 
@@ -75,6 +84,8 @@ class AutotuneDecision:
     block_bytes: int | None
     chunk_timings: dict[int, float] = field(default_factory=dict)
     gemm_timings: dict[int, float] = field(default_factory=dict)
+    batch_rounds: int | None = None
+    batch_timings: dict[int, float] = field(default_factory=dict)
     calibration_seconds: float = 0.0
 
     def export_metrics(self, registry) -> None:
@@ -104,6 +115,17 @@ class AutotuneDecision:
                 knob="block_bytes",
                 candidate=str(nbytes),
             )
+        registry.set_gauge(
+            "epi4_applyscore_autotune_batch_rounds",
+            -1.0 if self.batch_rounds is None else self.batch_rounds,
+        )
+        for batch, seconds in self.batch_timings.items():
+            registry.set_gauge(
+                "epi4_applyscore_autotune_candidate_seconds",
+                seconds,
+                knob="batch_rounds",
+                candidate=str(batch),
+            )
 
 
 def _calibration_offsets(nb: int, block_size: int) -> tuple[int, int, int, int]:
@@ -121,6 +143,46 @@ def _best_of(fn: Callable[[], None], repeats: int) -> float:
     return best
 
 
+def _calibrate_batch_rounds(
+    encoded,
+    block_size: int,
+    engine,
+    repeats: int,
+    candidates: tuple[int, ...],
+) -> tuple[int, dict[int, float]]:
+    """Time a representative round group at each batch-size candidate.
+
+    A *fresh* probe engine of the live engine's kind/mode times the work:
+    the live engine's ``last_shapes`` feed the device accounting and must
+    not see calibration launches.
+    """
+    probe = make_engine(
+        engine.name, mode=engine.mode, block_bytes=engine.block_bytes
+    )
+    planes = encoded.class_matrix(0)
+    nb = encoded.n_snps // block_size
+    wx = combine_blocks(planes, 0, 0, block_size)
+    group = max(c for c in candidates if c >= 1)
+    yz_ops = [
+        combine_blocks(planes, 0, (i % nb) * block_size, block_size)
+        for i in range(group)
+    ]
+    timings: dict[int, float] = {}
+    for batch in sorted({c for c in candidates if c >= 1}):
+
+        def run(k: int = batch) -> None:
+            for start in range(0, len(yz_ops), k):
+                probe.matmul_popcount_batch(
+                    [(wx, yz) for yz in yz_ops[start : start + k]]
+                )
+            probe.reset_shapes()
+
+        timings[batch] = _best_of(run, repeats)
+    # Tie-break toward the larger batch: equal time, fewer launches.
+    best = min(timings, key=lambda k: (timings[k], -k))
+    return best, timings
+
+
 def autotune_applyscore(
     encoded,
     pairs: np.ndarray,
@@ -133,6 +195,8 @@ def autotune_applyscore(
     repeats: int = 2,
     chunk_candidates: tuple[int, ...] = CHUNK_CELL_CANDIDATES,
     gemm_candidates: tuple[int, ...] = GEMM_BLOCK_CANDIDATES,
+    calibrate_batch: bool = False,
+    batch_candidates: tuple[int, ...] = BATCH_ROUND_CANDIDATES,
 ) -> AutotuneDecision:
     """Calibrate ``max_chunk_cells`` (and ``block_bytes`` in packed mode).
 
@@ -149,6 +213,10 @@ def autotune_applyscore(
             tiling knob is only calibrated when ``engine.mode == "packed"``.
         repeats: timing repetitions per candidate (best-of).
         chunk_candidates / gemm_candidates: override the ladders (tests).
+        calibrate_batch: also calibrate the batched-GEMM round group size
+            (requires ``engine``; requested by the search only when its
+            ``batch_rounds`` config enables batching).
+        batch_candidates: batch-size ladder for that axis.
 
     Returns:
         An :class:`AutotuneDecision` (apply it yourself: the function has
@@ -196,10 +264,19 @@ def autotune_applyscore(
             )
         block_bytes = min(gemm_timings, key=lambda n: (gemm_timings[n], n))
 
+    batch_rounds: int | None = None
+    batch_timings: dict[int, float] = {}
+    if calibrate_batch and engine is not None:
+        batch_rounds, batch_timings = _calibrate_batch_rounds(
+            encoded, block_size, engine, repeats, batch_candidates
+        )
+
     return AutotuneDecision(
         max_chunk_cells=best_cells,
         block_bytes=block_bytes,
         chunk_timings=chunk_timings,
         gemm_timings=gemm_timings,
+        batch_rounds=batch_rounds,
+        batch_timings=batch_timings,
         calibration_seconds=time.perf_counter() - t_start,
     )

@@ -41,5 +41,36 @@ def tensorop_4way(
                 f"{name} has {op.n_rows} rows, expected 4*B^2 = {4 * b * b}"
             )
     raw = engine.matmul_popcount(combined_wx, combined_yz)  # (4B^2, 4B^2)
+    return _reshape_corner4(raw, b)
+
+
+def tensorop_4way_batch(
+    engine: BinaryTensorEngine,
+    combined_wx: BitMatrix,
+    combined_yz_list: list[BitMatrix],
+    block_size: int,
+) -> list[np.ndarray]:
+    """Fourth-order corners for a whole round group in one fused launch.
+
+    The group's rounds share ``combined_wx`` (Algorithm 1 holds ``W x X``
+    fixed across the inner ``(Y, Z)`` loops), so the engine stacks the
+    ``yz`` operands and issues a single wide GEMM — per-round results are
+    bit-identical to :func:`tensorop_4way`.
+    """
+    b = block_size
+    for name, op in [("combined_wx", combined_wx)] + [
+        (f"combined_yz[{i}]", yz) for i, yz in enumerate(combined_yz_list)
+    ]:
+        if op.n_rows != 4 * b * b:
+            raise ValueError(
+                f"{name} has {op.n_rows} rows, expected 4*B^2 = {4 * b * b}"
+            )
+    raws = engine.matmul_popcount_batch(
+        [(combined_wx, yz) for yz in combined_yz_list]
+    )
+    return [_reshape_corner4(raw, b) for raw in raws]
+
+
+def _reshape_corner4(raw: np.ndarray, b: int) -> np.ndarray:
     corner = raw.reshape(b, 2, b, 2, b, 2, b, 2).transpose(0, 2, 4, 6, 1, 3, 5, 7)
     return np.ascontiguousarray(corner)

@@ -15,7 +15,7 @@ simulated tensor-core substrate:
    of the paper's one-thread-per-GPU OpenMP ``schedule(dynamic)``.  Each
    device reduces locally, the host reduces at the end.
 
-Two hot-path optimizations ride on top of the seed algorithm, both exactly
+Three hot-path optimizations ride on top of the seed algorithm, all exactly
 result-preserving:
 
 - a **round-operand cache** (:mod:`repro.core.operand_cache`): the loop
@@ -29,6 +29,13 @@ result-preserving:
   ``host_threads > 1`` the per-GPU loops actually run concurrently
   (NumPy's BLAS and bit-ops release the GIL, so ``dense``-mode rounds
   overlap for a real wall-clock win on multicore hosts).
+- a **batched round pipeline**: with ``batch_rounds > 1`` the ``yz``
+  combines and 4-way GEMMs of consecutive rounds sharing one
+  ``(Wi, Xi)`` pair are fused into wide batched launches (§3.3
+  launch-overhead amortization), and with ``overlap`` + ``n_streams > 1``
+  a double-buffered operand stager prepares round group ``r+1`` on a
+  :class:`~repro.device.streams.HostStream` while group ``r`` scores on
+  the calling thread.
 
 The tensor GEMMs run for real (exact integer results); device time is
 *accounted*, not emulated — see :mod:`repro.device` and
@@ -42,6 +49,7 @@ import os
 import random
 import threading
 import time
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -85,11 +93,13 @@ from repro.device.faults import (
     parse_fault_spec,
 )
 from repro.device.specs import A100_PCIE, GPUSpec
+from repro.device.streams import HostStream, stage_lookahead
 from repro.device.virtual_gpu import KernelCounters, VirtualGPU
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.perfmodel.workload import outer_iteration_tensor_ops
 from repro.scoring import make_score
+from repro.tensor.and_popc import dense_acc_dtype
 from repro.scoring.base import ScoreFunction, normalized_for_minimization
 from repro.scoring.k2 import K2Score
 from repro.scoring.lgamma_table import LgammaTable
@@ -107,8 +117,12 @@ class SearchConfig:
             device's native kind).
         engine_mode: ``"dense"`` (BLAS path) or ``"packed"`` (bitwise path).
         score: a :class:`~repro.scoring.ScoreFunction` or registry name.
-        n_streams: concurrent evaluation rounds modelled per device (affects
-            projected time only; results are identical).
+        n_streams: concurrent evaluation rounds per device.  Always feeds
+            the §4.4 stream model on the projected-time side; with
+            ``overlap`` enabled it is also a real execution knob —
+            ``n_streams - 1`` round groups are staged ahead on a host
+            stream while the current group scores.  Results are identical
+            for any value.
         sample_chunk_bits: if set, split every tensor GEMM's sample (K)
             dimension into chunks of this many bits and sum the partial
             corners — the paper's mitigation for the Turing large-``N``
@@ -158,8 +172,21 @@ class SearchConfig:
             cache; results are bit-identical either way.
         autotune: run a short calibration pass before the search proper
             and adopt the fastest ``max_chunk_cells`` (and, in packed
-            mode, packed-GEMM ``block_bytes``) it finds.  Result-neutral:
-            every candidate produces bit-identical scores.
+            mode, packed-GEMM ``block_bytes``; with ``batch_rounds > 1``,
+            the round batch size) it finds.  Result-neutral: every
+            candidate produces bit-identical scores.
+        batch_rounds: evaluation rounds fused per tensor-GEMM launch
+            group.  ``1`` reproduces the seed loop launch-for-launch;
+            larger values stack the ``yz`` operands of consecutive rounds
+            sharing one ``(Wi, Xi)`` pair into a single wide GEMM, so
+            per-launch overhead is amortized over the group (§3.3).
+            Results are bit-identical for any value — integer corner
+            counts do not depend on GEMM blocking.
+        overlap: let the operand stager prepare the next round group on
+            an in-order host stream while the current group scores
+            (double buffering; active only when ``n_streams > 1``).
+            Results are bit-identical either way — staging is strictly
+            in submission order.
     """
 
     block_size: int = 16
@@ -181,6 +208,8 @@ class SearchConfig:
     score_path: str = "fused"
     cache_triplets: bool = True
     autotune: bool = False
+    batch_rounds: int = 1
+    overlap: bool = True
 
     def __post_init__(self) -> None:
         if self.score_path not in ("fused", "dense"):
@@ -191,6 +220,10 @@ class SearchConfig:
             raise ValueError(f"block_size must be >= 2, got {self.block_size}")
         if self.n_streams < 1:
             raise ValueError(f"n_streams must be >= 1, got {self.n_streams}")
+        if self.batch_rounds < 1:
+            raise ValueError(
+                f"batch_rounds must be >= 1, got {self.batch_rounds}"
+            )
         if self.sample_chunk_bits is not None and (
             self.sample_chunk_bits <= 0 or self.sample_chunk_bits % 64
         ):
@@ -401,6 +434,7 @@ class Epi4TensorSearch:
             cache_triplets=(
                 self.config.cache_triplets and self.config.score_path == "fused"
             ),
+            batch_rounds=self.config.batch_rounds,
         )
         check_fits(spec, self.memory_estimate)
         self.cluster = VirtualCluster(
@@ -425,6 +459,10 @@ class Epi4TensorSearch:
         #: ``max_chunk_cells`` actually used by the hot loop; the autotune
         #: calibration pass may override the configured value per run.
         self._tuned_chunk_cells = self.config.max_chunk_cells
+        #: Round batch size actually used by the hot loop; when batching
+        #: is requested (``batch_rounds > 1``) the autotune pass may
+        #: calibrate a different group size.
+        self._tuned_batch_rounds = self.config.batch_rounds
         #: Last calibration outcome (``None`` when ``autotune`` is off).
         self.autotune_decision: AutotuneDecision | None = None
         #: Canonical phase names reported in ``SearchResult.phase_seconds``.
@@ -571,9 +609,20 @@ class Epi4TensorSearch:
                 self._prepare_devices()
                 self._cache = OperandCache.create(self.config.cache_mb)
                 self._tuned_chunk_cells = self.config.max_chunk_cells
+                self._tuned_batch_rounds = self.config.batch_rounds
                 self.autotune_decision = None
                 if self.config.autotune:
                     self._run_autotune()
+                # Dense bit-plane unpacking is memoized only when batching
+                # makes reuse likely (the same cached combine operand
+                # recurs across fused launches); the memo bytes are
+                # charged to the operand-cache budget in combine().
+                dense_memo = (
+                    self.cluster.gpus[0].engine.mode == "dense"
+                    and self._tuned_batch_rounds > 1
+                )
+                for gpu in self.cluster.gpus:
+                    gpu.engine.memoize_dense = dense_memo
             reducer = TopKReducer(self.config.top_k)
             self._global_reducer = reducer
             done: set[int] = set()
@@ -585,8 +634,16 @@ class Epi4TensorSearch:
             commit_lock = threading.Lock()
 
             def run_iteration(executor, wi: int) -> None:
-                with self.tracer.span("outer", wi=wi, dev=executor.device_id):
-                    local = self._run_rounds(executor, [wi])
+                outer_span = self.tracer.span(
+                    "outer", wi=wi, dev=executor.device_id
+                )
+                with outer_span:
+                    # The outer span is handed down explicitly so stage
+                    # spans opened on the stager thread (empty span stack)
+                    # parent correctly.
+                    local = self._run_rounds(
+                        executor, [wi], parent_span=outer_span
+                    )
                 with commit_lock:
                     reducer.merge(local)
                     executed[executor.device_id].append(wi)
@@ -899,8 +956,9 @@ class Epi4TensorSearch:
     def _run_autotune(self) -> None:
         """Calibrate the applyScore knobs on the live dataset (result-
         neutral; see :mod:`repro.core.autotune`) and adopt the decision:
-        ``max_chunk_cells`` for the fused scorer and — in packed mode —
-        the packed-GEMM tiling budget on every device's engine."""
+        ``max_chunk_cells`` for the fused scorer, — in packed mode — the
+        packed-GEMM tiling budget on every device's engine, and — when
+        batching is enabled — the round batch size."""
         assert self._low is not None, "_prepare_devices must run first"
         with self._phase_scope("autotune", "host"):
             decision = autotune_applyscore(
@@ -911,16 +969,22 @@ class Epi4TensorSearch:
                 n_real_snps=self.scheme.n_real_snps,
                 staged_kernel=self._staged,
                 engine=self.cluster.gpus[0].engine,
+                calibrate_batch=self.config.batch_rounds > 1,
             )
         self._tuned_chunk_cells = decision.max_chunk_cells
         if decision.block_bytes is not None:
             for gpu in self.cluster.gpus:
                 gpu.engine.block_bytes = decision.block_bytes
+        if decision.batch_rounds is not None:
+            self._tuned_batch_rounds = decision.batch_rounds
         decision.export_metrics(self.metrics)
         self.autotune_decision = decision
 
     def _run_rounds(
-        self, executor: "_KernelExecutor", outer_iters: Iterable[int]
+        self,
+        executor: "_KernelExecutor",
+        outer_iters: Iterable[int],
+        parent_span=None,
     ) -> TopKReducer:
         """The Algorithm 1 loop nest over one executor's kernel primitives.
 
@@ -931,8 +995,30 @@ class Epi4TensorSearch:
         combines are shared across every enclosing ``(Wi, Xi)``; with the
         cache disabled every request recomputes, reproducing the seed
         driver launch-for-launch.
+
+        Dispatch: at ``batch_rounds == 1`` with overlap inactive the seed
+        loop runs verbatim (:meth:`_run_rounds_serial`); otherwise rounds
+        are grouped and their ``yz``/4-way launches fused
+        (:meth:`_run_rounds_pipelined`), optionally double-buffered on a
+        host stream.  All three paths are bit-identical.
         """
         assert self._low is not None, "_prepare_devices must run first"
+        batch = max(1, self._tuned_batch_rounds)
+        depth = (
+            stage_lookahead(self.config.n_streams)
+            if self.config.overlap
+            else 0
+        )
+        if batch == 1 and depth == 0:
+            return self._run_rounds_serial(executor, outer_iters)
+        return self._run_rounds_pipelined(
+            executor, outer_iters, batch, depth, parent_span
+        )
+
+    def _run_rounds_serial(
+        self, executor: "_KernelExecutor", outer_iters: Iterable[int]
+    ) -> TopKReducer:
+        """The seed loop nest: one launch per combine/sweep/GEMM request."""
         b = self.scheme.block_size
         nb = self.scheme.nb
         reducer = TopKReducer(self.config.top_k)
@@ -980,36 +1066,250 @@ class Epi4TensorSearch:
                                 offsets=(wo, xo, yo, zo),
                                 block_size=b,
                             )
-                            scores, score_cells = self._score_round(
-                                executor, operands
-                            )
-                            with self._phase_scope(
-                                "score", executor.device_id, span="score"
-                            ):
-                                executor.account_score(score_cells)
-                            with self._phase_scope(
-                                "score", executor.device_id, span="reduce"
-                            ):
-                                reducer.add_round(scores, operands.offsets)
-                        dev = str(executor.device_id)
-                        self.metrics.inc("epi4_rounds_total", device=dev)
-                        self.metrics.observe(
-                            "epi4_round_seconds",
-                            time.perf_counter() - round_t0,
-                            device=dev,
-                        )
-                        if self._progress_callback is not None:
-                            with self._progress_lock:
-                                self._rounds_done += 1
-                                self._best_seen = min(
-                                    self._best_seen, reducer.best
-                                )
-                                self._progress_callback(
-                                    self._rounds_done,
-                                    self.scheme.n_rounds,
-                                    self._best_seen,
-                                )
+                            self._score_and_reduce(executor, reducer, operands)
+                        self._note_round_done(executor, reducer, round_t0)
         return reducer
+
+    # -- batched round pipeline ----------------------------------------- #
+
+    def _run_rounds_pipelined(
+        self,
+        executor: "_KernelExecutor",
+        outer_iters: Iterable[int],
+        batch: int,
+        depth: int,
+        parent_span,
+    ) -> TopKReducer:
+        """Grouped-launch loop nest with optional stage/score overlap.
+
+        Rounds sharing one ``(Wi, Xi)`` pair are chunked into groups of
+        ``batch``; each group's ``yz`` combines and 4-way GEMMs issue as
+        fused batched launches.  With ``depth > 0`` up to ``depth + 1``
+        groups are in flight on an in-order :class:`HostStream` — the
+        stager thread runs *all* device launches (so kernel accounting
+        never races the scoring thread) while the calling thread scores.
+        """
+        reducer = TopKReducer(self.config.top_k)
+        tasks: list[Callable[[], _StagedGroup]] = []
+        nb = self.scheme.nb
+        for wi in outer_iters:
+            for xi in range(wi, nb):
+                rounds = [
+                    (yi, zi)
+                    for yi in range(xi, nb)
+                    for zi in range(yi, nb)
+                ]
+                # Per-(wi, xi) operands shared across the pair's groups;
+                # mutated only by the (single, in-order) stager thread.
+                shared: dict = {}
+                for start in range(0, len(rounds), batch):
+                    tasks.append(
+                        self._make_stage_task(
+                            executor,
+                            wi,
+                            xi,
+                            rounds[start : start + batch],
+                            shared,
+                            parent_span,
+                        )
+                    )
+        if depth == 0:
+            for task in tasks:
+                self._score_staged_group(executor, reducer, task())
+            return reducer
+
+        stream = HostStream(f"epi4-stage-{executor.device_id}")
+        pending: deque = deque()
+        idx = 0
+        try:
+            while idx < len(tasks) or pending:
+                while idx < len(tasks) and len(pending) < depth + 1:
+                    pending.append(stream.submit(tasks[idx]))
+                    idx += 1
+                future = pending.popleft()
+                wait_t0 = time.perf_counter()
+                staged = future.result()
+                wait_s = time.perf_counter() - wait_t0
+                # Stage time the scoring thread did NOT wait for = real
+                # overlap won by the stream.
+                self.metrics.inc(
+                    "epi4_stage_overlap_seconds_total",
+                    max(0.0, staged.stage_seconds - wait_s),
+                    device=str(executor.device_id),
+                )
+                self._score_staged_group(executor, reducer, staged)
+        finally:
+            # Drain in-flight stage work before this (possibly retried)
+            # iteration returns: the fault injector's per-device context
+            # is reset by _with_retries right after, and no launch may
+            # outlive its iteration.  A primary exception wins over any
+            # secondary stager failure.
+            for future in pending:
+                try:
+                    future.result()
+                except BaseException:
+                    pass
+            stream.close()
+        return reducer
+
+    def _make_stage_task(
+        self,
+        executor: "_KernelExecutor",
+        wi: int,
+        xi: int,
+        group: list[tuple[int, int]],
+        shared: dict,
+        parent_span,
+    ) -> Callable[[], "_StagedGroup"]:
+        """Build the (idempotent) stage closure for one round group: all
+        combines, sweeps and fused tensor launches the group's rounds
+        need, returning host-resident operands ready to score."""
+        b = self.scheme.block_size
+
+        def stage() -> _StagedGroup:
+            wo, xo = wi * b, xi * b
+            t0 = time.perf_counter()
+            with self.tracer.span(
+                "stage",
+                parent_span=parent_span,
+                wi=wi,
+                xi=xi,
+                dev=executor.device_id,
+            ):
+                if "wx" not in shared:
+                    wx = [executor.combine(c, wo, xo) for c in (0, 1)]
+                    shared["wx"] = wx
+                    shared["sweep_wx"] = [
+                        executor.sweep3(c, wo, xo, combined=wx[c])
+                        for c in (0, 1)
+                    ]
+                    shared["sweeps"] = {}
+                wx = shared["wx"]
+                for yi, _zi in group:
+                    if yi not in shared["sweeps"]:
+                        shared["sweeps"][yi] = self._yi_sweeps(
+                            executor, wo, xo, yi * b
+                        )
+                yz_by_round = [
+                    [executor.combine(c, yi * b, zi * b) for c in (0, 1)]
+                    for yi, zi in group
+                ]
+                corner4_by_class = [
+                    executor.gemm4_batch(
+                        wx[c], [yz[c] for yz in yz_by_round], c
+                    )
+                    for c in (0, 1)
+                ]
+            return _StagedGroup(
+                wi=wi,
+                xi=xi,
+                sweep_wx=shared["sweep_wx"],
+                yi_sweeps={yi: shared["sweeps"][yi] for yi, _ in group},
+                rounds=[
+                    (
+                        yi,
+                        zi,
+                        (corner4_by_class[0][k], corner4_by_class[1][k]),
+                    )
+                    for k, (yi, zi) in enumerate(group)
+                ],
+                stage_seconds=time.perf_counter() - t0,
+            )
+
+        return stage
+
+    def _yi_sweeps(
+        self, executor: "_KernelExecutor", wo: int, xo: int, yo: int
+    ):
+        """The Y-level ``wy``/``xy`` sweeps for one staged pair.
+
+        With the operand cache off on a plain single-device executor the
+        two sweeps share their tail, so their per-class tensor3 launches
+        fuse (``sweep3_pair``); every other configuration routes through
+        the ordinary cached ``sweep3`` requests.
+        """
+        if (
+            self._cache is None
+            and self.config.sample_chunk_bits is None
+            and isinstance(executor, _SingleDeviceExecutor)
+        ):
+            return executor.sweep3_pair(wo, xo, yo)
+        return (
+            [executor.sweep3(c, wo, yo) for c in (0, 1)],
+            [executor.sweep3(c, xo, yo) for c in (0, 1)],
+        )
+
+    def _score_staged_group(
+        self,
+        executor: "_KernelExecutor",
+        reducer: TopKReducer,
+        staged: "_StagedGroup",
+    ) -> None:
+        """Score every round of a staged group (host math only — all
+        device launches already happened in the stage task)."""
+        b = self.scheme.block_size
+        wo, xo = staged.wi * b, staged.xi * b
+        for yi, zi, corner4 in staged.rounds:
+            yo, zo = yi * b, zi * b
+            sweep_wy, sweep_xy = staged.yi_sweeps[yi]
+            round_t0 = time.perf_counter()
+            with self.tracer.span(
+                "round", wi=staged.wi, xi=staged.xi, yi=yi, zi=zi
+            ):
+                operands = RoundOperands(
+                    corner4=(corner4[0], corner4[1]),
+                    corner3_wxy=tuple(
+                        s[:, :, yo - xo : yo - xo + b]
+                        for s in staged.sweep_wx
+                    ),
+                    corner3_wxz=tuple(
+                        s[:, :, zo - xo : zo - xo + b]
+                        for s in staged.sweep_wx
+                    ),
+                    corner3_wyz=tuple(
+                        s[:, :, zo - yo : zo - yo + b] for s in sweep_wy
+                    ),
+                    corner3_xyz=tuple(
+                        s[:, :, zo - yo : zo - yo + b] for s in sweep_xy
+                    ),
+                    offsets=(wo, xo, yo, zo),
+                    block_size=b,
+                )
+                self._score_and_reduce(executor, reducer, operands)
+            self._note_round_done(executor, reducer, round_t0)
+
+    def _score_and_reduce(
+        self,
+        executor: "_KernelExecutor",
+        reducer: TopKReducer,
+        operands: RoundOperands,
+    ) -> None:
+        """Shared per-round tail: score, account, reduce."""
+        scores, score_cells = self._score_round(executor, operands)
+        with self._phase_scope("score", executor.device_id, span="score"):
+            executor.account_score(score_cells)
+        with self._phase_scope("score", executor.device_id, span="reduce"):
+            reducer.add_round(scores, operands.offsets)
+
+    def _note_round_done(
+        self,
+        executor: "_KernelExecutor",
+        reducer: TopKReducer,
+        round_t0: float,
+    ) -> None:
+        """Per-round bookkeeping shared by both loop paths."""
+        dev = str(executor.device_id)
+        self.metrics.inc("epi4_rounds_total", device=dev)
+        self.metrics.observe(
+            "epi4_round_seconds", time.perf_counter() - round_t0, device=dev
+        )
+        if self._progress_callback is not None:
+            with self._progress_lock:
+                self._rounds_done += 1
+                self._best_seen = min(self._best_seen, reducer.best)
+                self._progress_callback(
+                    self._rounds_done, self.scheme.n_rounds, self._best_seen
+                )
 
     # ------------------------------------------------------------------ #
     # Scoring with graceful degradation
@@ -1137,6 +1437,26 @@ class Epi4TensorSearch:
         return scores, cells
 
 
+@dataclass
+class _StagedGroup:
+    """Host-resident operands of one staged round group.
+
+    Produced by a stage task (all device launches done), consumed by
+    :meth:`Epi4TensorSearch._score_staged_group` (host math only).
+    """
+
+    wi: int
+    xi: int
+    #: Per-class ``wx`` third-order sweeps (shared across the pair's groups).
+    sweep_wx: list
+    #: ``{yi: (sweep_wy_per_class, sweep_xy_per_class)}`` for the group.
+    yi_sweeps: dict
+    #: ``(yi, zi, per_class_corner4)`` per round, in round order.
+    rounds: list
+    #: Wall seconds the stage task spent (for the overlap metric).
+    stage_seconds: float
+
+
 def _full3_lookup(
     search: "Epi4TensorSearch",
     counters: KernelCounters,
@@ -1222,7 +1542,15 @@ class _SingleDeviceExecutor:
         value, hit, evicted = self._cache.get_or_compute(
             ("combine", cls, off_a, off_b),
             lambda: self._combine_cold(cls, off_a, off_b),
-            nbytes=lambda bm: bm.nbytes,
+            # When the engine memoizes dense unpacking, a cached combine
+            # pins its (lazily built) float operand too — charge the
+            # budget for it up front so admission stays deterministic.
+            nbytes=lambda bm: bm.nbytes
+            + (
+                bm.projected_dense_nbytes(dense_acc_dtype(bm.n_bits))
+                if self._gpu.engine.memoize_dense
+                else 0
+            ),
         )
         self._gpu.counters.record_cache(hit, evicted)
         metrics.inc(
@@ -1319,6 +1647,49 @@ class _SingleDeviceExecutor:
                 total = part if total is None else total + part
             assert total is not None
             return total
+
+    def gemm4_batch(
+        self, wx: BitMatrix, yz_list: list[BitMatrix], cls: int
+    ) -> list[np.ndarray]:
+        """4-way corners for a round group sharing ``wx`` — one fused
+        launch (sample-chunked configurations fall back to per-round
+        GEMMs, which already split along K)."""
+        if len(yz_list) == 1 or self._search.config.sample_chunk_bits is not None:
+            return [self.gemm4(wx, yz, cls) for yz in yz_list]
+        b = self._search.scheme.block_size
+        with self._search._phase_scope("tensor4", self.device_id, span="batch"):
+            return self._gpu.launch_tensor4_batch(wx, yz_list, b)
+
+    def sweep3_pair(
+        self, wo: int, xo: int, yo: int
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Both Y-level sweeps (``wy`` and ``xy``) over their shared tail,
+        with the per-class tensor3 launches fused.
+
+        Cache-off fast path for the batched pipeline: request/executed
+        accounting mirrors two plain ``sweep3`` calls (4 sweep requests,
+        4 executed, 4 combine launches) — only the tensor3 launch count
+        halves, which is exactly what batching is allowed to change.
+        """
+        search = self._search
+        metrics = search.metrics
+        dev = str(self.device_id)
+        metrics.inc("epi4_operand_requests_total", 4, kind="sweep", device=dev)
+        metrics.inc("epi4_operand_executed_total", 4, kind="sweep", device=dev)
+        b = search.scheme.block_size
+        t_stop = search.scheme.n_snps
+        out_wy: list[np.ndarray] = []
+        out_xy: list[np.ndarray] = []
+        for cls in (0, 1):
+            wy = self._combine_cold(cls, wo, yo)
+            xy = self._combine_cold(cls, xo, yo)
+            with search._phase_scope("tensor3", self.device_id, span="batch"):
+                swy, sxy = self._gpu.launch_tensor3_batch(
+                    [wy, xy], self._planes[cls], yo, t_stop, b
+                )
+            out_wy.append(swy)
+            out_xy.append(sxy)
+        return out_wy, out_xy
 
     def account_score(self, n_cells: int) -> None:
         self._gpu.account_score_cells(n_cells)
@@ -1478,6 +1849,26 @@ class _SamplePartitionExecutor:
                 total = part if total is None else total + part
             assert total is not None
             return total
+
+    def gemm4_batch(
+        self, wx: list[BitMatrix], yz_list: list[list[BitMatrix]], cls: int
+    ) -> list[np.ndarray]:
+        """4-way corners for a round group: each device fuses the group's
+        GEMMs over its own sample chunk; per-round partial corners are
+        summed across devices as in :meth:`gemm4`."""
+        if len(yz_list) == 1:
+            return [self.gemm4(wx, yz, cls) for yz in yz_list]
+        b = self._search.scheme.block_size
+        with self._search._phase_scope("tensor4", self.device_id, span="batch"):
+            totals: list[np.ndarray | None] = [None] * len(yz_list)
+            for d, (gpu, _) in enumerate(self._active(cls)):
+                parts = gpu.launch_tensor4_batch(
+                    wx[d], [yz[d] for yz in yz_list], b
+                )
+                for k, part in enumerate(parts):
+                    totals[k] = part if totals[k] is None else totals[k] + part
+            assert all(t is not None for t in totals)
+            return totals  # type: ignore[return-value]
 
     def account_score(self, n_cells: int) -> None:
         # Scoring of the merged tables runs on the first device.

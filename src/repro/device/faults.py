@@ -414,6 +414,16 @@ class FaultyGPU:
             combined, class_planes, t_start, t_stop, block_size
         )
 
+    def launch_tensor3_batch(
+        self, combined_list, class_planes, t_start, t_stop, block_size
+    ):
+        # One gate per fused launch: a batched launch fails (or survives)
+        # as a unit, exactly like the hardware launch it models.
+        self._gate("tensor3")
+        return self._gpu.launch_tensor3_batch(
+            combined_list, class_planes, t_start, t_stop, block_size
+        )
+
     def launch_tensor4(self, combined_wx, combined_yz, block_size):
         action = self._gate("tensor4")
         out = self._gpu.launch_tensor4(combined_wx, combined_yz, block_size)
@@ -421,6 +431,20 @@ class FaultyGPU:
             self._gpu.counters.record_fault()
             out = self._injector.corrupt_output(out)
         return out
+
+    def launch_tensor4_batch(self, combined_wx, combined_yz_list, block_size):
+        action = self._gate("tensor4")
+        outs = self._gpu.launch_tensor4_batch(
+            combined_wx, combined_yz_list, block_size
+        )
+        if action == "corrupt":
+            # Corrupt the batch's first member: round-level validation of
+            # the round it lands in catches it and re-executes degraded.
+            self._gpu.counters.record_fault()
+            outs[0] = self._injector.corrupt_output(
+                np.ascontiguousarray(outs[0])
+            )
+        return outs
 
     def launch_plane_gemm(self, category, a, b):
         self._gate(category)

@@ -105,6 +105,7 @@ def estimate_search_memory(
     max_chunk_cells: int = 32 * 1024 * 1024,
     cache_budget_bytes: float = 0,
     cache_triplets: bool = False,
+    batch_rounds: int = 1,
 ) -> DeviceMemoryEstimate:
     """Per-device footprint of a fourth-order search (§3.6: every GPU holds
     the full dataset, lgamma table and low-order tables).
@@ -122,6 +123,10 @@ def estimate_search_memory(
             (:func:`triplet_working_set_bytes`) in the cacheable working
             set — the cross-round triplet-reuse path of the fused
             ``applyScore``.  Ignored when caching is disabled.
+        batch_rounds: rounds fused per batched GEMM launch group.  Above
+            1, the round stager double-buffers a group's ``yz`` operands
+            and 4-way corner outputs (prepare ``r+1`` while ``r`` scores),
+            so that working set is charged twice.
 
     Returns:
         A :class:`DeviceMemoryEstimate`.
@@ -152,6 +157,17 @@ def estimate_search_memory(
         # Round score grid (float64) + reduction buffers.
         "score grid": 8 * b**4,
     }
+    if batch_rounds < 1:
+        raise ValueError(f"batch_rounds must be >= 1, got {batch_rounds}")
+    if batch_rounds > 1:
+        # Double-buffered round stager: two groups of `batch_rounds`
+        # rounds may be resident at once, each holding both classes'
+        # yz-combined operands and 4-way corner outputs.
+        per_round = (
+            8 * 2 * (4 * b * b) * max(words0, words1)  # yz operands
+            + 8 * 2 * b**4 * 16  # 4-way corners
+        )
+        components["round stager"] = 2 * batch_rounds * per_round
     if cache_budget_bytes < 0:
         raise ValueError(
             f"cache_budget_bytes must be >= 0, got {cache_budget_bytes}"

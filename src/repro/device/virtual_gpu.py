@@ -10,6 +10,7 @@ the performance model later converts into simulated device time.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -35,7 +36,13 @@ class KernelCounters:
         pairwise_ops: plane-dot volume of the ``pairwPop`` precomputation.
         score_cells: contingency-table cells completed + scored.
         transfer_bytes: host-device traffic.
-        launches: launch count per kernel name.
+        launches: launch count per kernel name.  A batched tensor launch
+            (``matmul_popcount_batch``) counts **once** here however many
+            GEMM problems it fuses; ``gemm_problems`` keeps the logical
+            problem count, so ``gemm_problems - launches`` is exactly the
+            launch overhead the batching pipeline amortized away.
+        gemm_problems: logical GEMM problems executed per tensor kernel
+            (equals ``launches`` for that kernel when batching is off).
         cache_hits: round-operand cache lookups served without a launch
             (the skipped ``combine``/``tensor3`` work is *not* in the
             tensor-op/bit-op totals — the counters reflect executed work).
@@ -61,25 +68,54 @@ class KernelCounters:
     score_cells: int = 0
     transfer_bytes: int = 0
     launches: dict[str, int] = field(default_factory=dict)
+    gemm_problems: dict[str, int] = field(default_factory=dict)
     cache_hits: int = 0
     cache_misses: int = 0
     cache_evictions: int = 0
     faults_injected: int = 0
 
+    def __post_init__(self) -> None:
+        # Under stage/score overlap the operand stager and the scoring
+        # thread account launches on the same device concurrently; every
+        # read-modify-write below goes through this lock.
+        self._lock = threading.Lock()
+
     def record_launch(self, kernel: str) -> None:
-        self.launches[kernel] = self.launches.get(kernel, 0) + 1
+        with self._lock:
+            self.launches[kernel] = self.launches.get(kernel, 0) + 1
+
+    def record_tensor_launch(
+        self, kernel: str, raw_ops: int, padded_ops: int, batch: int = 1
+    ) -> None:
+        """Account one executed tensor-GEMM launch carrying ``batch``
+        fused problems."""
+        with self._lock:
+            self._ensure_category(kernel)
+            self.tensor_ops_raw[kernel] += raw_ops
+            self.tensor_ops_padded[kernel] += padded_ops
+            self.launches[kernel] = self.launches.get(kernel, 0) + 1
+            self.gemm_problems[kernel] = (
+                self.gemm_problems.get(kernel, 0) + batch
+            )
+
+    def add_work(self, attr: str, amount: int) -> None:
+        """Add ``amount`` to one of the scalar work counters, atomically."""
+        with self._lock:
+            setattr(self, attr, getattr(self, attr) + amount)
 
     def record_fault(self) -> None:
         """Account one injected launch fault (or output corruption)."""
-        self.faults_injected += 1
+        with self._lock:
+            self.faults_injected += 1
 
     def record_cache(self, hit: bool, evicted: int = 0) -> None:
         """Account one round-operand cache lookup."""
-        if hit:
-            self.cache_hits += 1
-        else:
-            self.cache_misses += 1
-        self.cache_evictions += evicted
+        with self._lock:
+            if hit:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+            self.cache_evictions += evicted
 
     @property
     def cache_hit_rate(self) -> float:
@@ -126,6 +162,19 @@ class KernelCounters:
             registry.inc(
                 "epi4_kernel_launches_total", count, kernel=kernel, device=dev
             )
+        # Executed tensor-GEMM launches vs logical problems: the gap is the
+        # launch volume the batched round pipeline collapsed.
+        for kernel in self.tensor_ops_raw:
+            registry.inc(
+                "epi4_gemm_launches_total",
+                self.launches.get(kernel, 0),
+                kernel=kernel, device=dev,
+            )
+            registry.inc(
+                "epi4_gemm_problems_total",
+                self.gemm_problems.get(kernel, 0),
+                kernel=kernel, device=dev,
+            )
 
     def merge(self, other: "KernelCounters") -> None:
         """Accumulate another device's counters into this one."""
@@ -143,6 +192,8 @@ class KernelCounters:
         self.faults_injected += other.faults_injected
         for name, count in other.launches.items():
             self.launches[name] = self.launches.get(name, 0) + count
+        for name, count in other.gemm_problems.items():
+            self.gemm_problems[name] = self.gemm_problems.get(name, 0) + count
 
 
 class VirtualGPU:
@@ -183,7 +234,7 @@ class VirtualGPU:
         """Account a host-to-device (or back) memory transfer."""
         if nbytes < 0:
             raise ValueError(f"nbytes must be >= 0, got {nbytes}")
-        self.counters.transfer_bytes += nbytes
+        self.counters.add_work("transfer_bytes", nbytes)
         self.counters.record_launch("transfer")
 
     def launch_combine(
@@ -191,13 +242,13 @@ class VirtualGPU:
     ) -> BitMatrix:
         """``combine`` kernel: AND-combine two SNP blocks (CUDA cores)."""
         out = combine_blocks(planes, first_offset, second_offset, block_size)
-        self.counters.combine_bit_ops += out.n_rows * out.n_bits
+        self.counters.add_work("combine_bit_ops", out.n_rows * out.n_bits)
         self.counters.record_launch("combine")
         return out
 
     def launch_pairwise(self, plane_dot_ops: int) -> None:
         """Account the ``pairwPop`` plane-dot volume (CUDA cores)."""
-        self.counters.pairwise_ops += plane_dot_ops
+        self.counters.add_work("pairwise_ops", plane_dot_ops)
         self.counters.record_launch("pairwPop")
 
     def launch_tensor3(
@@ -219,6 +270,24 @@ class VirtualGPU:
         self._account_tensor("tensor3")
         return out
 
+    def launch_tensor3_batch(
+        self,
+        combined_list: list[BitMatrix],
+        class_planes: BitMatrix,
+        t_start: int,
+        t_stop: int,
+        block_size: int,
+    ) -> list[np.ndarray]:
+        """Batched ``tensorOp_3way``: many combined operands against one
+        class-plane tail in as few fused launches as possible."""
+        from repro.core.threeway import tensorop_3way_batch
+
+        outs = tensorop_3way_batch(
+            self.engine, combined_list, class_planes, t_start, t_stop, block_size
+        )
+        self._account_tensor("tensor3")
+        return outs
+
     def launch_tensor4(
         self, combined_wx: BitMatrix, combined_yz: BitMatrix, block_size: int
     ) -> np.ndarray:
@@ -228,6 +297,20 @@ class VirtualGPU:
         out = tensorop_4way(self.engine, combined_wx, combined_yz, block_size)
         self._account_tensor("tensor4")
         return out
+
+    def launch_tensor4_batch(
+        self, combined_wx: BitMatrix, combined_yz_list: list[BitMatrix],
+        block_size: int,
+    ) -> list[np.ndarray]:
+        """Batched ``tensorOp_4way``: one ``wx`` operand against a whole
+        round group's ``yz`` operands in a single fused launch."""
+        from repro.core.fourway import tensorop_4way_batch
+
+        outs = tensorop_4way_batch(
+            self.engine, combined_wx, combined_yz_list, block_size
+        )
+        self._account_tensor("tensor4")
+        return outs
 
     def launch_plane_gemm(
         self, category: str, a: BitMatrix, b: BitMatrix
@@ -240,22 +323,24 @@ class VirtualGPU:
 
     def account_score_cells(self, n_cells: int) -> None:
         """Account ``applyScore`` work: completed + scored table cells."""
-        self.counters.score_cells += n_cells
+        self.counters.add_work("score_cells", n_cells)
         self.counters.record_launch("applyScore")
 
     # ------------------------------------------------------------------ #
 
     def _account_tensor(self, kernel: str) -> None:
         # The engine records one GemmShape per matmul launch (the XOR engine
-        # records once per raw GEMM); drain them into the counters.
-        self.counters._ensure_category(kernel)
+        # records once per raw GEMM, batched calls once per *fused* launch);
+        # drain them into the counters: one launch per shape, `batch`
+        # logical problems each.
         for shape in self.engine.last_shapes:
-            self.counters.tensor_ops_raw[kernel] += shape.fused_ops
-            self.counters.tensor_ops_padded[kernel] += self.spec.tiles.padded_ops(
-                shape.m, shape.n, shape.k_bits
+            self.counters.record_tensor_launch(
+                kernel,
+                shape.fused_ops,
+                self.spec.tiles.padded_ops(shape.m, shape.n, shape.k_bits),
+                batch=shape.batch,
             )
         self.engine.reset_shapes()
-        self.counters.record_launch(kernel)
 
     def __repr__(self) -> str:
         return (

@@ -21,6 +21,7 @@ from repro.perfmodel.efficiency import tensor_efficiency
 from repro.perfmodel.workload import (
     SearchWorkload,
     outer_iteration_tensor_ops,
+    search_gemm_launches,
     search_workload,
 )
 
@@ -70,6 +71,12 @@ class PerformancePrediction:
     #: Strong-scaling speedup over one GPU of the same kind (scheduling
     #: imbalance and chassis derate included); 1.0 for single-GPU points.
     speedup_vs_single: float = 1.0
+    #: Executed tensor-GEMM launches (all kernels) at the modelled
+    #: ``batch_rounds``; 0 when the caller did not model launches.
+    gemm_launches: int = 0
+    #: Launch-overhead seconds charged on top of the FLOP time (0 unless
+    #: ``launch_overhead_us`` was set).
+    launch_seconds: float = 0.0
 
 
 def predict_search(
@@ -82,6 +89,8 @@ def predict_search(
     sample_chunked: bool = False,
     n_real_snps: int | None = None,
     cache_operands: bool = False,
+    batch_rounds: int = 1,
+    launch_overhead_us: float = 0.0,
 ) -> PerformancePrediction:
     """Project a single-GPU search.
 
@@ -99,6 +108,14 @@ def predict_search(
             ``combine``/``tensorOp_3way`` launches become hits and drop out
             of the tensor-op totals (see
             :func:`repro.perfmodel.workload.search_workload`).
+        batch_rounds: rounds fused per 4-way launch group — collapses the
+            modelled launch count (see
+            :func:`repro.perfmodel.workload.search_gemm_launches`) without
+            touching the FLOP volume.
+        launch_overhead_us: fixed per-launch overhead in microseconds,
+            charged once per *executed* launch.  The default 0 keeps the
+            FLOP-only model (and every pre-existing prediction) unchanged;
+            a few us is typical of a CUDA kernel dispatch.
     """
     wl = search_workload(
         n_snps,
@@ -114,10 +131,17 @@ def predict_search(
         n_streams=n_streams,
         sample_chunked=sample_chunked,
     )
+    launches = search_gemm_launches(
+        n_snps // block_size,
+        batch_rounds=batch_rounds,
+        cache_operands=cache_operands,
+    )
+    n_launches = sum(launches.values())
+    launch_seconds = n_launches * launch_overhead_us * 1e-6
     avg_tops = eff * spec.peak_tops
     search_seconds = wl.tensor_ops / (avg_tops * 1e12)
     transfer_seconds = wl.transfer_bytes / PCIE_BYTES_PER_SECOND
-    seconds = search_seconds + transfer_seconds
+    seconds = search_seconds + transfer_seconds + launch_seconds
     return PerformancePrediction(
         workload=wl,
         spec=spec,
@@ -126,6 +150,8 @@ def predict_search(
         avg_tops=avg_tops,
         seconds=seconds,
         tera_quads_per_second_scaled=wl.scaled_quads / seconds / 1e12,
+        gemm_launches=n_launches,
+        launch_seconds=launch_seconds,
     )
 
 

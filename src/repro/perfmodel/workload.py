@@ -110,6 +110,60 @@ def unique_block_triples(nb: int) -> int:
     return comb(nb + 2, 3)
 
 
+def search_gemm_launches(
+    nb: int,
+    *,
+    batch_rounds: int = 1,
+    cache_operands: bool = False,
+    paired_sweeps: bool | None = None,
+) -> dict[str, int]:
+    """Executed tensor-GEMM *launches* of a full search, by kernel.
+
+    Launches are what the batched round pipeline collapses — the fused-op
+    volume (:func:`search_workload`) is invariant, but each fused launch
+    of ``batch_rounds`` stacked ``yz`` operands retires up to that many
+    logical GEMM problems at one launch overhead.  Per ``(Wi, Xi)`` pair
+    the ``T = nb - Xi`` tail yields ``C(T + 1, 2)`` rounds, chunked into
+    ``ceil(rounds / batch_rounds)`` fused 4-way launches per class.
+
+    Args:
+        nb: number of SNP blocks.
+        batch_rounds: rounds fused per 4-way launch group (1 = the seed
+            loop, launch-for-launch).
+        cache_operands: model an unbounded round-operand cache — every
+            unique block-pair sweep executes exactly once per class, so
+            the 3-way launch count is independent of batching.
+        paired_sweeps: the pipelined loop fuses the Y-level ``wy``/``xy``
+            sweeps (same tail) into one launch per class; defaults to
+            ``batch_rounds > 1`` (the pipeline also runs, with paired
+            sweeps, at ``batch_rounds == 1`` when stage overlap is on).
+            Ignored when ``cache_operands`` is set.
+
+    Returns:
+        ``{"tensor3": launches, "tensor4": launches}``.  The matching
+        per-problem totals (``KernelCounters.gemm_problems``) always equal
+        the ``batch_rounds=1`` launch counts.
+    """
+    if nb < 1:
+        raise ValueError(f"nb must be >= 1, got {nb}")
+    if batch_rounds < 1:
+        raise ValueError(f"batch_rounds must be >= 1, got {batch_rounds}")
+    if paired_sweeps is None:
+        paired_sweeps = batch_rounds > 1
+    tensor4 = 0
+    for xi in range(nb):
+        rounds = comb(nb - xi + 1, 2)
+        tensor4 += (xi + 1) * 2 * -(-rounds // batch_rounds)
+    # wx sweeps: one per class per unique (wi <= xi) pair — also the
+    # *total* cached-path count, since every sweep is pair-keyed.
+    tensor3 = 2 * comb(nb + 1, 2)
+    if not cache_operands:
+        # wy + xy sweeps per (wi <= xi <= yi) triple: 4 separate launches
+        # per triple in the seed loop, 2 fused ones in the pipeline.
+        tensor3 += (2 if paired_sweeps else 4) * comb(nb + 2, 3)
+    return {"tensor3": tensor3, "tensor4": tensor4}
+
+
 def outer_iteration_tensor_ops(
     wi: int, nb: int, block_size: int, n_samples: int
 ) -> int:

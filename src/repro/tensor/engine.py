@@ -18,6 +18,7 @@ is done by the device layer from the GEMM shapes each call reports via
 from __future__ import annotations
 
 import abc
+import dataclasses
 from dataclasses import dataclass
 
 import numpy as np
@@ -31,11 +32,20 @@ EXECUTION_MODES = ("dense", "packed")
 
 @dataclass(frozen=True)
 class GemmShape:
-    """Shape of one binary GEMM launch: ``(m, n)`` rows and ``k`` bits."""
+    """Shape of one binary GEMM *launch*: ``(m, n)`` rows and ``k`` bits.
+
+    ``batch`` counts the logical GEMM problems fused into the launch
+    (``matmul_popcount_batch`` stacks operands, so one launch can carry
+    many problems).  ``m``/``n`` describe the fused problem, so
+    ``fused_ops`` already equals the sum over the batched problems; the
+    batch dimension exists so the §3.3 performance model can charge
+    per-launch overhead separately from FLOPs.
+    """
 
     m: int
     n: int
     k_bits: int
+    batch: int = 1
 
     @property
     def fused_ops(self) -> int:
@@ -73,6 +83,11 @@ class BinaryTensorEngine(abc.ABC):
         self.block_bytes = int(block_bytes)
         #: Shapes of GEMMs launched since the last :meth:`reset_shapes` call.
         self.last_shapes: list[GemmShape] = []
+        #: When set, the dense path caches unpacked bit-planes on each
+        #: :class:`BitMatrix` operand (see :meth:`BitMatrix.dense_operand`)
+        #: so batched launches never re-unpack a reused operand.  The search
+        #: layer charges the extra bytes through the operand-cache budget.
+        self.memoize_dense = False
 
     # ------------------------------------------------------------------ #
 
@@ -82,11 +97,63 @@ class BinaryTensorEngine(abc.ABC):
         matrix, by whatever native operation the modelled hardware supports.
         """
 
+    def matmul_popcount_batch(
+        self, pairs: list[tuple[BitMatrix, BitMatrix]]
+    ) -> list[np.ndarray]:
+        """Execute many GEMM problems in as few fused launches as possible.
+
+        Consecutive pairs sharing the *same* left operand object are fused
+        by stacking their right operands into one tall operand (one wide
+        GEMM); consecutive pairs sharing the same right operand are fused by
+        stacking lefts.  On the dense path the stack is a single block GEMM;
+        on the packed path the stacked operand flows through the existing
+        blocked loop, i.e. a fused blocked sweep over the whole batch under
+        the ``block_bytes`` budget.  One :class:`GemmShape` with
+        ``batch == len(group)`` is recorded per fused launch so the device
+        layer can charge launch overhead separately from FLOPs.
+
+        Results are bit-identical to per-pair :meth:`matmul_popcount` calls:
+        the dense accumulators are integer-exact regardless of BLAS blocking,
+        and the packed/XOR paths are element-wise on stacked rows.
+        """
+        results: list[np.ndarray | None] = [None] * len(pairs)
+        for axis, indices in _plan_batch_groups(pairs):
+            if len(indices) == 1:
+                i = indices[0]
+                results[i] = self.matmul_popcount(*pairs[i])
+                continue
+            if axis == "left":
+                a = pairs[indices[0]][0]
+                rights = [pairs[i][1] for i in indices]
+                fused = self.matmul_popcount(a, BitMatrix.vstack(rights))
+                self._rebatch_last_shape(len(indices))
+                col = 0
+                for i, right in zip(indices, rights):
+                    results[i] = fused[:, col : col + right.n_rows]
+                    col += right.n_rows
+            else:
+                b = pairs[indices[0]][1]
+                lefts = [pairs[i][0] for i in indices]
+                fused = self.matmul_popcount(BitMatrix.vstack(lefts), b)
+                self._rebatch_last_shape(len(indices))
+                row = 0
+                for i, left in zip(indices, lefts):
+                    results[i] = fused[row : row + left.n_rows]
+                    row += left.n_rows
+        return results
+
     # ------------------------------------------------------------------ #
     # Accounting hooks
 
     def _record(self, a: BitMatrix, b: BitMatrix) -> None:
         self.last_shapes.append(GemmShape(m=a.n_rows, n=b.n_rows, k_bits=a.n_bits))
+
+    def _rebatch_last_shape(self, batch: int) -> None:
+        """Mark the most recent recorded launch as carrying ``batch`` fused
+        problems (the stacked call itself recorded it with ``batch == 1``)."""
+        self.last_shapes[-1] = dataclasses.replace(
+            self.last_shapes[-1], batch=batch
+        )
 
     def reset_shapes(self) -> None:
         """Forget recorded GEMM shapes (called by the device layer)."""
@@ -94,6 +161,33 @@ class BinaryTensorEngine(abc.ABC):
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(mode={self.mode!r})"
+
+
+def _plan_batch_groups(
+    pairs: list[tuple[BitMatrix, BitMatrix]],
+) -> list[tuple[str, list[int]]]:
+    """Greedy fusion plan over a pair list: maximal runs of consecutive
+    pairs sharing a left (``"left"`` groups) or right (``"right"`` groups)
+    operand *object*.  Identity, not equality — only genuinely reused
+    operands (e.g. one ``wx`` against many ``yz``) may share a launch, and
+    only when bit widths agree (never fuse across K)."""
+    groups: list[tuple[str, list[int]]] = []
+    i, n = 0, len(pairs)
+    while i < n:
+        a, b = pairs[i]
+        j = i + 1
+        while j < n and pairs[j][0] is a and pairs[j][1].n_bits == b.n_bits:
+            j += 1
+        if j - i > 1:
+            groups.append(("left", list(range(i, j))))
+            i = j
+            continue
+        j = i + 1
+        while j < n and pairs[j][1] is b and pairs[j][0].n_bits == a.n_bits:
+            j += 1
+        groups.append(("right", list(range(i, j))))
+        i = j
+    return groups
 
 
 def make_engine(

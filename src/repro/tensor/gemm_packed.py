@@ -47,14 +47,19 @@ def _gemm_popcount(
     rows = _block_rows(
         a.n_words, block_bytes, max_rows=max(a.n_rows, b.n_rows)
     )
+    ufunc = np.bitwise_and if op == "and" else np.bitwise_xor
+    # One scratch intermediate for the whole (possibly batch-stacked) GEMM,
+    # reused across blocks; interior blocks write it in place instead of
+    # allocating a fresh (rows_a x rows_b x words) buffer per block.
+    scratch = np.empty(
+        (min(rows, a.n_rows), min(rows, b.n_rows), a.n_words), dtype=np.uint64
+    )
     for i0 in range(0, a.n_rows, rows):
         a_block = a.data[i0 : i0 + rows]
         for j0 in range(0, b.n_rows, rows):
             b_block = b.data[j0 : j0 + rows]
-            if op == "and":
-                inter = a_block[:, None, :] & b_block[None, :, :]
-            else:
-                inter = a_block[:, None, :] ^ b_block[None, :, :]
+            inter = scratch[: a_block.shape[0], : b_block.shape[0]]
+            ufunc(a_block[:, None, :], b_block[None, :, :], out=inter)
             out[i0 : i0 + a_block.shape[0], j0 : j0 + b_block.shape[0]] = (
                 popcount_u64(inter).sum(axis=-1, dtype=np.int64)
             )

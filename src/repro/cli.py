@@ -122,8 +122,32 @@ def _add_search(sub: argparse._SubParsersAction) -> None:
     p.add_argument(
         "--inject-faults", default=None, metavar="SPEC",
         help="deterministic fault-injection spec for resilience testing, "
-        "e.g. 'transient:op=tensor4,count=2;persistent:device=1;seed=7' "
+        "e.g. 'transient:op=tensor4,count=2;hang:count=1;oom:p=0.01;seed=7' "
         "(results stay bit-identical; see repro.device.faults)",
+    )
+    p.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="MS",
+        help="per-launch hang watchdog deadline; a launch exceeding it is "
+        "cancelled and retried like any device fault (default: off; "
+        "required when the fault spec contains 'hang' rules)",
+    )
+    p.add_argument(
+        "--pressure", default="on", choices=("on", "off"),
+        help="memory-pressure governor: degrade footprint (cache budget, "
+        "batch_rounds, chunk cells, triplet cache — all result-neutral) "
+        "and retry on device OOM instead of aborting (default: on)",
+    )
+    p.add_argument(
+        "--probation-rounds", type=int, default=None, metavar="K",
+        help="readmit a quarantined device after K committed iterations "
+        "via a canary iteration (exponential re-quarantine on failure; "
+        "default: quarantine is permanent)",
+    )
+    p.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="crash-safe round journal: one fsynced CRC frame per "
+        "committed outer iteration; a process killed at any byte offset "
+        "resumes exactly-once with a bit-identical top-k",
     )
     p.add_argument(
         "--trace-out", default=None, metavar="PATH",
@@ -262,6 +286,9 @@ def _cmd_search(args: argparse.Namespace) -> int:
             backoff_base_ms=args.backoff_base_ms,
             quarantine_after=args.quarantine_after,
             inject_faults=args.inject_faults,
+            deadline_ms=args.deadline_ms,
+            pressure=args.pressure == "on",
+            probation_rounds=args.probation_rounds,
             **config_kwargs,
         )
         tracer = None
@@ -272,7 +299,9 @@ def _cmd_search(args: argparse.Namespace) -> int:
         search = Epi4TensorSearch(
             dataset, config, spec=spec, n_gpus=args.n_gpus, tracer=tracer
         )
-        result = search.run(checkpoint_path=args.checkpoint)
+        result = search.run(
+            checkpoint_path=args.checkpoint, journal_path=args.journal
+        )
         if wants_artifacts:
             from repro.obs.exporters import export_run_artifacts
             from repro.obs.manifest import build_run_manifest
@@ -341,6 +370,23 @@ def _cmd_search(args: argparse.Namespace) -> int:
                   f"{fl.total_requeues} requeues, "
                   f"{fl.total_degraded_rounds} degraded rounds, "
                   f"quarantined {quarantined if quarantined else 'none'}")
+            if fl.total_watchdog_trips:
+                print(f"watchdog  : {fl.total_watchdog_trips} stalled "
+                      f"launch(es) cancelled at deadline "
+                      f"{config.deadline_ms:.0f} ms")
+            if fl.total_pressure_degrades:
+                level = result.metrics.total("epi4_pressure_level")
+                print(f"pressure  : {fl.total_pressure_degrades} ladder "
+                      f"step(s) down under memory pressure "
+                      f"(final level {level:.0f})")
+            if fl.total_canaries:
+                print(f"probation : {fl.total_canaries} canary iteration(s), "
+                      f"{fl.total_readmits} device(s) readmitted")
+        if args.journal:
+            commits = result.metrics.total("epi4_journal_commits_total")
+            replayed = result.metrics.total("epi4_journal_replayed_total")
+            print(f"journal   : {commits:.0f} commit(s) appended, "
+                  f"{replayed:.0f} replayed from {args.journal}")
         best_tuple = result.best_quad
         if args.report:
             from repro.reporting import format_search_report

@@ -30,6 +30,26 @@ from dataclasses import dataclass, field
 from repro.core.reduction import TopKReducer
 from repro.core.solution import Solution
 
+def fsync_directory(dirpath: str | os.PathLike) -> None:
+    """fsync a directory so renames within it survive power loss.
+
+    Best-effort on platforms whose directory handles refuse fsync
+    (Windows, some network filesystems): failures are swallowed — the
+    rename itself is still atomic, only the power-loss *ordering*
+    guarantee is weakened, matching the previous behaviour there.
+    """
+    try:
+        fd = os.open(os.fspath(dirpath), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 #: Current checkpoint schema version.  Files without a ``version`` field
 #: (written before the field existed) are treated as version 1; their
 #: payload schema is identical.
@@ -148,7 +168,14 @@ class SearchCheckpoint:
 
     def save(self, path: str | os.PathLike) -> None:
         """Atomically write the checkpoint (write-then-rename), rotating
-        the previous copy to ``<path>.bak`` first."""
+        the previous copy to ``<path>.bak`` first.
+
+        Durability ordering: the temp file is fsynced before any rename,
+        and the *directory* is fsynced after the rotation — without the
+        directory sync a power loss can persist the data blocks but not
+        the rename, leaving neither the primary nor the ``.bak`` entry
+        pointing at a complete file.
+        """
         path = os.fspath(path)
         with self._lock:
             payload = {
@@ -160,9 +187,12 @@ class SearchCheckpoint:
             tmp = path + ".tmp"
             with open(tmp, "w", encoding="utf-8") as fh:
                 json.dump(payload, fh)
+                fh.flush()
+                os.fsync(fh.fileno())
             if os.path.exists(path):
                 os.replace(path, path + ".bak")
             os.replace(tmp, path)
+            fsync_directory(os.path.dirname(path) or ".")
 
     # ------------------------------------------------------------------ #
 

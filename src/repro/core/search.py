@@ -68,9 +68,12 @@ from repro.core.autotune import AutotuneDecision, autotune_applyscore
 from repro.core.blocks import BlockScheme
 from repro.core.operand_cache import CacheStats, OperandCache
 from repro.core.pairwise import LowOrderTables, pairw_pop
+from repro.core.pressure import PressureGovernor
 from repro.core.reduction import TopKReducer, reduce_solutions
 from repro.core.resilience import (
     FaultLog,
+    ProbationManager,
+    ProbationPolicy,
     ResilientWorkQueue,
     RetryPolicy,
     SearchAbortedError,
@@ -86,12 +89,14 @@ from repro.core.solution import MAX_SNP_INDEX, Solution
 from repro.datasets.dataset import Dataset
 from repro.datasets.encoding import EncodedDataset, encode_dataset
 from repro.device.cluster import ScheduleResult, VirtualCluster
+from repro.core.watchdog import LaunchWatchdog
 from repro.device.faults import (
     DeviceFault,
     FaultInjector,
     FaultyGPU,
     parse_fault_spec,
 )
+from repro.device.memory import DeviceMemoryError
 from repro.device.specs import A100_PCIE, GPUSpec
 from repro.device.streams import HostStream, stage_lookahead
 from repro.device.virtual_gpu import KernelCounters, VirtualGPU
@@ -187,6 +192,29 @@ class SearchConfig:
             (double buffering; active only when ``n_streams > 1``).
             Results are bit-identical either way — staging is strictly
             in submission order.
+        deadline_ms: per-launch hang watchdog deadline in milliseconds
+            (``None`` disarms the watchdog, the default).  A launch that
+            exceeds the deadline is cancelled and surfaces as a
+            ``hang`` :class:`~repro.device.faults.DeviceFault`, feeding
+            the normal retry/requeue/quarantine path.  Required whenever
+            the fault spec contains ``hang`` rules (an injected stall
+            without a watchdog would never return).
+        pressure: enable the memory-pressure governor (see
+            :mod:`repro.core.pressure`): every
+            :class:`~repro.device.memory.DeviceMemoryError` steps a
+            deterministic degradation ladder (cache budget →
+            batch_rounds → chunk cells → triplet cache) and retries at
+            the reduced footprint instead of aborting.  Every ladder
+            knob is result-neutral, so results stay bit-identical.
+        pressure_relax_rounds: consecutive clean rounds before the
+            governor re-expands one pressure level.
+        probation_rounds: cooldown (in committed outer iterations)
+            before a quarantined device runs a readmission canary; on
+            canary success the device returns to service, on failure it
+            re-quarantines with exponentially increased cooldown.
+            ``None`` (the default) keeps quarantine permanent for the
+            run.  Only the thread-parallel executor parks and readmits
+            workers; the sequential replay ignores probation.
     """
 
     block_size: int = 16
@@ -210,6 +238,10 @@ class SearchConfig:
     autotune: bool = False
     batch_rounds: int = 1
     overlap: bool = True
+    deadline_ms: float | None = None
+    pressure: bool = True
+    pressure_relax_rounds: int = 64
+    probation_rounds: int | None = None
 
     def __post_init__(self) -> None:
         if self.score_path not in ("fused", "dense"):
@@ -247,11 +279,30 @@ class SearchConfig:
             raise ValueError(
                 f"host_threads must be >= 1, got {self.host_threads}"
             )
+        if self.deadline_ms is not None and not self.deadline_ms > 0:
+            raise ValueError(
+                f"deadline_ms must be > 0, got {self.deadline_ms}"
+            )
+        if self.pressure_relax_rounds < 1:
+            raise ValueError(
+                "pressure_relax_rounds must be >= 1, "
+                f"got {self.pressure_relax_rounds}"
+            )
+        if self.probation_rounds is not None and self.probation_rounds < 1:
+            raise ValueError(
+                f"probation_rounds must be >= 1, got {self.probation_rounds}"
+            )
         # Delegate retry-knob validation to RetryPolicy (and fail fast on a
         # malformed fault spec rather than mid-search).
         self.retry_policy
         if self.inject_faults is not None:
-            parse_fault_spec(self.inject_faults)
+            plan = parse_fault_spec(self.inject_faults)
+            if plan.has_hang and self.deadline_ms is None:
+                raise ValueError(
+                    "fault spec injects 'hang' faults but no watchdog is "
+                    "armed; set deadline_ms (--deadline-ms) so stalled "
+                    "launches can be cancelled"
+                )
 
     @property
     def retry_policy(self) -> RetryPolicy:
@@ -494,6 +545,9 @@ class Epi4TensorSearch:
         self._injector: FaultInjector | None = None
         self._backoff_rng = random.Random(0)
         self.fault_log = FaultLog.for_devices(self.cluster.n_gpus)
+        self._watchdog: LaunchWatchdog | None = None
+        self._pressure: PressureGovernor | None = None
+        self._probation: ProbationManager | None = None
 
     # ------------------------------------------------------------------ #
     # Observability plumbing
@@ -543,7 +597,9 @@ class Epi4TensorSearch:
             requested = min(n_gpus, os.cpu_count() or 1)
         return max(1, min(requested, n_gpus))
 
-    def run(self, progress_callback=None, checkpoint_path=None) -> SearchResult:
+    def run(
+        self, progress_callback=None, checkpoint_path=None, journal_path=None
+    ) -> SearchResult:
         """Execute the full search and return the globally best quad.
 
         Args:
@@ -558,29 +614,37 @@ class Epi4TensorSearch:
                 after every completed outer iteration.  A resumed run skips
                 finished iterations; its counters/timers cover only the
                 work actually re-executed.
+            journal_path: optional path to a crash-safe round journal (see
+                :mod:`repro.core.journal`): every committed outer iteration
+                appends one fsynced CRC frame, so a process killed at any
+                byte offset resumes exactly-once with a bit-identical
+                top-k.  Composable with ``checkpoint_path``; the union of
+                both completed sets is skipped on resume.
         """
         from repro.core.checkpoint import SearchCheckpoint, search_fingerprint
+        from repro.core.journal import RoundJournal
 
         self._progress_callback = progress_callback
         self._rounds_done = 0
         self._best_seen = Solution.worst()
+        fingerprint = search_fingerprint(
+            self.scheme.n_snps,
+            self.scheme.n_real_snps,
+            self.encoded.n_controls,
+            self.encoded.n_cases,
+            self.config.block_size,
+            self.cluster.gpus[0].engine.name,
+            self._score_name,
+            self.config.top_k,
+            self.config.partition,
+            self.cluster.n_gpus,
+        )
         checkpoint: SearchCheckpoint | None = None
         if checkpoint_path is not None:
-            checkpoint = SearchCheckpoint.load(
-                checkpoint_path,
-                search_fingerprint(
-                    self.scheme.n_snps,
-                    self.scheme.n_real_snps,
-                    self.encoded.n_controls,
-                    self.encoded.n_cases,
-                    self.config.block_size,
-                    self.cluster.gpus[0].engine.name,
-                    self._score_name,
-                    self.config.top_k,
-                    self.config.partition,
-                    self.cluster.n_gpus,
-                ),
-            )
+            checkpoint = SearchCheckpoint.load(checkpoint_path, fingerprint)
+        journal: RoundJournal | None = None
+        if journal_path is not None:
+            journal = RoundJournal.open(journal_path, fingerprint)
 
         if self._user_metrics is None:
             # Fresh registry per run: repeat run() calls stay independent.
@@ -602,12 +666,14 @@ class Epi4TensorSearch:
         # per-worker device spans open on worker threads whose span stacks
         # are empty, so they name this span as their parent directly.
         self._run_span = run_span
-        with total_timer, run_span:
+        with self._run_cleanup(journal), total_timer, run_span:
             with self.tracer.span("prepare"):
                 self._reset_resilience()
                 schedule = self._make_schedule()
                 self._prepare_devices()
                 self._cache = OperandCache.create(self.config.cache_mb)
+                if self._pressure is not None:
+                    self._pressure.attach_cache(self._cache)
                 self._tuned_chunk_cells = self.config.max_chunk_cells
                 self._tuned_batch_rounds = self.config.batch_rounds
                 self.autotune_decision = None
@@ -629,6 +695,10 @@ class Epi4TensorSearch:
             if checkpoint is not None:
                 checkpoint.seed_reducer(reducer)
                 done = set(checkpoint.completed)
+            if journal is not None:
+                journal.seed_reducer(reducer)
+                done |= journal.completed
+            if done:
                 self._best_seen = reducer.best
             executed: list[list[int]] = [[] for _ in self.cluster.gpus]
             commit_lock = threading.Lock()
@@ -650,6 +720,10 @@ class Epi4TensorSearch:
                     if checkpoint is not None:
                         checkpoint.record(wi, reducer)
                         checkpoint.save(checkpoint_path)
+                    if journal is not None:
+                        # Durable (fsynced) before the commit counts; a
+                        # crash after this line re-runs nothing.
+                        journal.commit(wi, reducer.result())
 
             if self.config.partition == "samples" and self.cluster.n_gpus > 1:
                 self._run_samples_partition(done, run_iteration)
@@ -672,6 +746,10 @@ class Epi4TensorSearch:
         if self._cache is not None:
             self._cache.stats.export_metrics(self.metrics)
         self.fault_log.export_metrics(self.metrics)
+        if self._pressure is not None:
+            self._pressure.export_metrics(self.metrics)
+        if journal is not None:
+            journal.export_metrics(self.metrics)
         positions = self.metrics.total("epi4_applyscore_positions_total")
         if positions:
             self.metrics.set_gauge(
@@ -705,9 +783,23 @@ class Epi4TensorSearch:
     # ------------------------------------------------------------------ #
     # Phases
 
+    @contextmanager
+    def _run_cleanup(self, journal):
+        """Release run-scoped resilience resources on any exit path: the
+        watchdog's monitor thread and the journal's append handle."""
+        try:
+            yield
+        finally:
+            if self._watchdog is not None:
+                self._watchdog.close()
+                self._watchdog = None
+            if journal is not None:
+                journal.close()
+
     def _reset_resilience(self) -> None:
-        """Fresh fault log / injector / backoff PRNG for one run — repeat
-        :meth:`run` calls are independently deterministic."""
+        """Fresh fault log / injector / backoff PRNG / watchdog / governor
+        for one run — repeat :meth:`run` calls are independently
+        deterministic."""
         self.fault_log = FaultLog.for_devices(self.cluster.n_gpus)
         self.cluster.reset_quarantine()
         seed = self._fault_plan.seed if self._fault_plan is not None else 0
@@ -715,13 +807,38 @@ class Epi4TensorSearch:
         self._injector = (
             FaultInjector(self._fault_plan) if self._fault_plan is not None else None
         )
+        if self._watchdog is not None:
+            self._watchdog.close()
+        self._watchdog = (
+            LaunchWatchdog(
+                self.config.deadline_ms,
+                # Late-bound so trips land in *this* run's fault log.
+                on_trip=lambda dev, op: self.fault_log.record_watchdog_trip(
+                    dev, op
+                ),
+            )
+            if self.config.deadline_ms is not None
+            else None
+        )
+        self._pressure = (
+            PressureGovernor(relax_after=self.config.pressure_relax_rounds)
+            if self.config.pressure
+            else None
+        )
+        self._probation = (
+            ProbationManager(
+                ProbationPolicy(cooldown_rounds=self.config.probation_rounds)
+            )
+            if self.config.probation_rounds is not None
+            else None
+        )
 
     def _wrap_gpu(self, gpu: VirtualGPU):
-        """Route a device's launches through the fault injector (no-op
-        wrapper-free passthrough when injection is off)."""
-        if self._injector is None:
+        """Route a device's launches through the fault injector and hang
+        watchdog (no-op wrapper-free passthrough when both are off)."""
+        if self._injector is None and self._watchdog is None:
             return gpu
-        return FaultyGPU(gpu, self._injector)
+        return FaultyGPU(gpu, self._injector, self._watchdog)
 
     def _with_retries(
         self, device_id: int, wi: int | None, attempt_fn: Callable[[], None]
@@ -731,20 +848,33 @@ class Epi4TensorSearch:
         Returns ``None`` on success, or the last :class:`DeviceFault`
         once the policy is exhausted (the caller decides between requeue,
         quarantine and abort).
+
+        A :class:`DeviceMemoryError` is not a device *fault*: it steps the
+        pressure governor's ladder and retries at the reduced footprint
+        without consuming the retry budget (the loop is bounded by the
+        ladder depth, after which the error propagates).
         """
         policy = self._retry_policy
         last: DeviceFault | None = None
-        for attempt in range(policy.max_attempts):
+        attempt = 0
+        while attempt < policy.max_attempts:
             self.fault_log.record_attempt(device_id)
             if self._injector is not None:
                 self._injector.begin_iteration(device_id, wi)
             try:
                 attempt_fn()
+            except DeviceMemoryError:
+                if self._pressure is None or not self._escalate_pressure(
+                    device_id, wi
+                ):
+                    raise  # no governor / ladder exhausted: nothing to give
+                continue
             except DeviceFault as fault:
                 last = fault
                 self.fault_log.record_failure(device_id, wi, fault.op, fault.kind)
-                if attempt + 1 < policy.max_attempts:
-                    wait = policy.backoff_seconds(attempt, self._backoff_rng)
+                attempt += 1
+                if attempt < policy.max_attempts:
+                    wait = policy.backoff_seconds(attempt - 1, self._backoff_rng)
                     self.fault_log.record_retry(
                         device_id, wi, fault.op, fault.kind, wait
                     )
@@ -757,6 +887,27 @@ class Epi4TensorSearch:
                 if self._injector is not None:
                     self._injector.begin_iteration(device_id, None)
         return last
+
+    def _escalate_pressure(self, device_id: int, wi: int | None) -> bool:
+        """One ladder step down after a :class:`DeviceMemoryError`.
+
+        Returns ``True`` when a step was applied (retry at the reduced
+        footprint), ``False`` when the ladder is exhausted."""
+        governor = self._pressure
+        step = governor.escalate()
+        if step is None:
+            return False
+        level = governor.level
+        self.fault_log.record_pressure(device_id, wi, level, step, "degrade")
+        with self.tracer.span(
+            "pressure",
+            parent_span=self._run_span,
+            dev=device_id,
+            level=level,
+            step=step,
+        ):
+            pass
+        return True
 
     def _note_exhausted(
         self, device_id: int, wi: int, fault: DeviceFault
@@ -862,7 +1013,10 @@ class Epi4TensorSearch:
         A worker that exhausts its retries on an iteration requeues it
         for the surviving devices (the queue excludes the surrendering
         device); after ``quarantine_after`` consecutive exhausted
-        iterations the device is quarantined and its worker exits.  The
+        iterations the device is quarantined.  Without probation its
+        worker exits for good; with ``probation_rounds`` set the worker
+        parks, waits out the cooldown (in cluster-wide commits), then
+        runs a readmission canary (see :meth:`_probation_cycle`).  The
         queue raises :class:`SearchAbortedError` if work remains that no
         surviving device may run."""
         queue = ResilientWorkQueue(
@@ -891,7 +1045,13 @@ class Epi4TensorSearch:
                             continue
                         queue.requeue(wi, dev)
                         if self._note_exhausted(dev, wi, fault):
-                            return  # quarantined
+                            if self._probation is None:
+                                return  # quarantined for the rest of the run
+                            if not self._probation_cycle(
+                                dev, queue, executor, run_iteration
+                            ):
+                                return  # probation retired the device
+                            # Readmitted: back to normal work.
             finally:
                 queue.unregister(dev)
 
@@ -910,6 +1070,84 @@ class Epi4TensorSearch:
             futures = [pool.submit(device_worker, gpu) for gpu in workers]
             for future in futures:
                 future.result()  # re-raise the first worker failure
+        if queue.unfinished:
+            # Every worker retired (probation gave up on the whole fleet)
+            # with work still pending — fail loudly, never silently drop
+            # iterations from the exhaustive search.
+            raise SearchAbortedError(
+                "work remains but every device retired from probation; "
+                "search cannot complete"
+            )
+
+    def _probation_cycle(
+        self, dev: int, queue: ResilientWorkQueue, executor, run_iteration
+    ) -> bool:
+        """Park a freshly quarantined device until its canary is due, then
+        probe for readmission.  Returns ``True`` when the device earned
+        its way back into service, ``False`` when probation retired it
+        (or the search finished without it).
+
+        The parked worker unregisters so the queue's abort/emergency
+        calculus ignores it; an ``"emergency"`` wake (whole fleet parked,
+        work pending) runs the canary immediately, cooldown
+        notwithstanding — the alternative is a search that can never
+        finish."""
+        probation = self._probation
+        probation.on_quarantine(dev, queue.committed)
+        queue.unregister(dev)
+        while True:
+            if not probation.may_probe(dev):
+                return False
+            state = queue.wait_probation(probation.due_at(dev))
+            if state == "drained":
+                return False
+            # "due" or "emergency": run one single-attempt canary.
+            queue.register(dev)
+            wi = queue.get(dev)
+            if wi is None:
+                queue.unregister(dev)
+                return False
+            if self._run_canary(dev, wi, executor, run_iteration):
+                queue.done(wi)
+                self.cluster.unquarantine(dev)
+                self.fault_log.record_readmit(dev)
+                probation.on_canary_success(dev)
+                return True
+            queue.requeue(wi, dev)
+            queue.unregister(dev)
+            if not probation.on_canary_failure(dev, queue.committed):
+                return False
+
+    def _run_canary(
+        self, dev: int, wi: int, executor, run_iteration
+    ) -> bool:
+        """One probation canary: a single attempt, no retries — a device
+        asking back into service must complete an iteration cleanly."""
+        self.fault_log.record_attempt(dev)
+        if self._injector is not None:
+            self._injector.begin_iteration(dev, wi)
+        try:
+            with self.tracer.span(
+                "canary", parent_span=self._run_span, dev=dev, wi=wi
+            ):
+                run_iteration(executor, wi)
+        except DeviceFault as fault:
+            self.fault_log.record_failure(dev, wi, fault.op, fault.kind)
+            self.fault_log.record_canary(dev, wi, False)
+            return False
+        except DeviceMemoryError:
+            # A canary gets no pressure retry: failing it closed is safe
+            # (the iteration requeues; healthy devices carry the ladder).
+            self.fault_log.record_failure(dev, wi, "canary", "oom")
+            self.fault_log.record_canary(dev, wi, False)
+            return False
+        else:
+            self.fault_log.record_success(dev)
+            self.fault_log.record_canary(dev, wi, True)
+            return True
+        finally:
+            if self._injector is not None:
+                self._injector.begin_iteration(dev, None)
 
     def _make_schedule(self) -> ScheduleResult:
         costs = [
@@ -1004,6 +1242,8 @@ class Epi4TensorSearch:
         """
         assert self._low is not None, "_prepare_devices must run first"
         batch = max(1, self._tuned_batch_rounds)
+        if self._pressure is not None:
+            batch = self._pressure.effective_batch_rounds(batch)
         depth = (
             stage_lookahead(self.config.n_streams)
             if self.config.overlap
@@ -1303,6 +1543,16 @@ class Epi4TensorSearch:
         self.metrics.observe(
             "epi4_round_seconds", time.perf_counter() - round_t0, device=dev
         )
+        if self._pressure is not None:
+            step = self._pressure.note_clean_round()
+            if step is not None:
+                self.fault_log.record_pressure(
+                    executor.device_id,
+                    None,
+                    self._pressure.level,
+                    step,
+                    "expand",
+                )
         if self._progress_callback is not None:
             with self._progress_lock:
                 self._rounds_done += 1
@@ -1310,6 +1560,15 @@ class Epi4TensorSearch:
                 self._progress_callback(
                     self._rounds_done, self.scheme.n_rounds, self._best_seen
                 )
+
+    def _triplets_active(self) -> bool:
+        """Whether cross-round triplet caching is on right now: the
+        configured switch, possibly overridden by pressure level 4."""
+        if not self.config.cache_triplets:
+            return False
+        if self._pressure is not None:
+            return self._pressure.triplets_enabled(True)
+        return True
 
     # ------------------------------------------------------------------ #
     # Scoring with graceful degradation
@@ -1329,13 +1588,16 @@ class Epi4TensorSearch:
         and records the ``epi4_applyscore_*`` series; the dense ablation
         path reproduces the legacy full-grid behaviour.
         """
+        chunk_cells = self._tuned_chunk_cells
+        if self._pressure is not None:
+            chunk_cells = self._pressure.effective_chunk_cells(chunk_cells)
         if self.config.score_path == "dense":
             scores = apply_score_dense(
                 operands,
                 self._low.pairs,
                 self._score_min,
                 self.scheme.n_real_snps,
-                max_chunk_cells=self._tuned_chunk_cells,
+                max_chunk_cells=chunk_cells,
             )
             return scores, operands.block_size ** 4 * 81 * 2
         scores, stats = score_round(
@@ -1343,7 +1605,7 @@ class Epi4TensorSearch:
             self._low.pairs,
             self._score_min,
             self.scheme.n_real_snps,
-            max_chunk_cells=self._tuned_chunk_cells,
+            max_chunk_cells=chunk_cells,
             staged_kernel=self._staged,
             full3_provider=executor.full3 if triplet_cache else None,
         )
@@ -1480,7 +1742,7 @@ def _full3_lookup(
     metrics = search.metrics
     dev = str(device_id)
     metrics.inc("epi4_operand_requests_total", kind="full3", device=dev)
-    if cache is None or not search.config.cache_triplets:
+    if cache is None or not search._triplets_active():
         metrics.inc(
             "epi4_operand_executed_total", kind="full3", device=dev
         )

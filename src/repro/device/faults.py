@@ -13,7 +13,7 @@ degraded re-execution) lives in :mod:`repro.core.resilience` and
 Fault model
 -----------
 
-Three fault kinds are modelled:
+Five fault kinds are modelled:
 
 ``transient``
     The launch raises :class:`DeviceFault`; retrying the same launch (or
@@ -32,6 +32,22 @@ Three fault kinds are modelled:
     (Corrupting cacheable operands — ``combine``/``tensor3`` — would let
     a poisoned cache entry silently infect *other* rounds, which is a
     different failure class than the per-launch SDC modelled here.)
+``hang``
+    The launch *stalls forever* instead of failing fast: the calling
+    thread blocks until the search's hang watchdog
+    (:class:`repro.core.watchdog.LaunchWatchdog`, armed via
+    ``--deadline-ms``) trips the launch, at which point the stall is
+    cancelled and surfaces as :class:`DeviceFault` (``kind="hang"``) into
+    the ordinary retry/requeue/quarantine path.  Injecting ``hang``
+    without an armed watchdog is a configuration error (nothing would
+    ever cancel the stall); :class:`FaultyGPU` degrades it to an
+    immediate hang fault so unit tests stay hang-free.
+``oom``
+    The launch raises
+    :class:`~repro.device.memory.DeviceMemoryError` — a simulated
+    device allocation failure.  Recovery is *not* the retry path: the
+    memory-pressure governor (:mod:`repro.core.pressure`) steps its
+    degradation ladder and re-runs the iteration at a reduced footprint.
 
 Triggers are count-based (``count=N``: the first N matching launches),
 position-based (``at=N``: exactly the Nth matching launch, 1-based) or
@@ -62,6 +78,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.device.memory import DeviceMemoryError
 from repro.device.virtual_gpu import VirtualGPU
 
 #: Kernel names a rule's ``op=`` filter may name (launch vocabulary of
@@ -75,7 +92,16 @@ LAUNCH_OPS = (
     "applyScore",
 )
 
-FAULT_KINDS = ("transient", "persistent", "corrupt")
+FAULT_KINDS = ("transient", "persistent", "corrupt", "hang", "oom")
+
+#: Keys each fault kind accepts in a spec clause.  All kinds share the
+#: same filter/trigger vocabulary today, but the table is consulted
+#: per-kind so error messages can say *which* kind rejected the key and
+#: future kind-specific keys slot in without touching the parser.
+KIND_KEYS: dict[str, tuple[str, ...]] = {
+    kind: ("op", "device", "iter", "count", "at", "p")
+    for kind in FAULT_KINDS
+}
 
 
 class DeviceFault(RuntimeError):
@@ -84,7 +110,7 @@ class DeviceFault(RuntimeError):
     Attributes:
         device_id: device the launch ran on.
         op: kernel name (``tensor4``, ``combine``, ...).
-        kind: ``"transient"`` or ``"persistent"``.
+        kind: ``"transient"``, ``"persistent"`` or ``"hang"``.
         wi: outer iteration being executed when the fault fired (``None``
             outside the search loop, e.g. during dataset transfer).
     """
@@ -107,7 +133,8 @@ class FaultRule:
     """One injection rule: *what* fails, *where* and *when*.
 
     Attributes:
-        kind: ``"transient"``, ``"persistent"`` or ``"corrupt"``.
+        kind: one of :data:`FAULT_KINDS` (``transient``, ``persistent``,
+            ``corrupt``, ``hang``, ``oom``).
         op: kernel-name filter (``None`` = any launch; ``corrupt`` rules
             default to — and must target — ``tensor4``).
         device: device-id filter (``None`` = any device).
@@ -189,6 +216,11 @@ class FaultPlan:
     def has_corruption(self) -> bool:
         return any(r.kind == "corrupt" for r in self.rules)
 
+    @property
+    def has_hang(self) -> bool:
+        """True when any rule injects hangs (requires an armed watchdog)."""
+        return any(r.kind == "hang" for r in self.rules)
+
 
 def parse_fault_spec(spec: str) -> FaultPlan:
     """Parse a ``--inject-faults`` spec string into a :class:`FaultPlan`.
@@ -198,33 +230,54 @@ def parse_fault_spec(spec: str) -> FaultPlan:
     ``iter``, ``count``, ``at``, ``p``.
 
     Raises:
-        ValueError: on any malformed clause (with the offending clause in
-            the message).
+        ValueError: on any malformed clause.  The message carries the
+            1-based clause index and the offending clause text, and
+            unknown/duplicate keys are rejected *per kind* with the
+            kind's valid-key list — a typo'd key can never be silently
+            dropped.
     """
     rules: list[FaultRule] = []
     seed = 0
-    for clause in spec.split(";"):
+    for index, clause in enumerate(spec.split(";"), start=1):
         clause = clause.strip()
         if not clause:
             continue
+
+        def bad(reason: str) -> ValueError:
+            return ValueError(
+                f"bad fault clause {index} ({clause!r}): {reason}"
+            )
+
         if clause.startswith("seed="):
             try:
                 seed = int(clause[len("seed="):])
             except ValueError:
-                raise ValueError(f"bad seed clause {clause!r}") from None
+                raise bad("seed must be an integer") from None
             continue
         kind, _, args = clause.partition(":")
         kind = kind.strip()
+        if kind not in FAULT_KINDS:
+            raise bad(
+                f"unknown fault kind {kind!r} "
+                f"(valid kinds: {', '.join(FAULT_KINDS)})"
+            )
+        valid_keys = KIND_KEYS[kind]
         kwargs: dict[str, object] = {}
+        seen: set[str] = set()
         for item in filter(None, (a.strip() for a in args.split(","))):
             key, sep, value = item.partition("=")
             if not sep:
-                raise ValueError(
-                    f"bad fault clause {clause!r}: expected key=value, "
-                    f"got {item!r}"
-                )
+                raise bad(f"expected key=value, got {item!r}")
             key = key.strip()
             value = value.strip()
+            if key not in valid_keys:
+                raise bad(
+                    f"unknown key {key!r} for kind {kind!r} "
+                    f"(valid keys: {', '.join(valid_keys)})"
+                )
+            if key in seen:
+                raise bad(f"duplicate key {key!r}")
+            seen.add(key)
             try:
                 if key in ("device", "count", "at"):
                     kwargs[key] = int(value)
@@ -232,18 +285,16 @@ def parse_fault_spec(spec: str) -> FaultPlan:
                     kwargs["iteration"] = int(value)
                 elif key == "p":
                     kwargs["probability"] = float(value)
-                elif key == "op":
+                else:  # key == "op"
                     kwargs["op"] = value
-                else:
-                    raise ValueError(f"unknown key {key!r}")
-            except ValueError as exc:
-                raise ValueError(
-                    f"bad fault clause {clause!r}: {exc}"
+            except ValueError:
+                raise bad(
+                    f"key {key!r} needs a numeric value, got {value!r}"
                 ) from None
         try:
             rules.append(FaultRule(kind=kind, **kwargs))  # type: ignore[arg-type]
         except (TypeError, ValueError) as exc:
-            raise ValueError(f"bad fault clause {clause!r}: {exc}") from None
+            raise bad(str(exc)) from None
     if not rules:
         raise ValueError(f"fault spec {spec!r} contains no rules")
     return FaultPlan(rules=tuple(rules), seed=seed)
@@ -256,10 +307,18 @@ class InjectionStats:
     transient: int = 0
     persistent: int = 0
     corrupt: int = 0
+    hang: int = 0
+    oom: int = 0
 
     @property
     def total(self) -> int:
-        return self.transient + self.persistent + self.corrupt
+        return (
+            self.transient
+            + self.persistent
+            + self.corrupt
+            + self.hang
+            + self.oom
+        )
 
 
 class FaultInjector:
@@ -310,11 +369,15 @@ class FaultInjector:
 
         Returns:
             ``None`` (execute normally), ``"corrupt"`` (execute, then
-            corrupt the output).
+            corrupt the output) or ``"hang"`` (stall the launch until the
+            watchdog cancels it).
 
         Raises:
             DeviceFault: for transient faults and on every launch of a
                 dead device.
+            DeviceMemoryError: for ``oom`` rules (simulated allocation
+                failure; recovered by the pressure governor, not the
+                retry path).
         """
         with self._lock:
             wi = self._context.get(device_id)
@@ -336,6 +399,15 @@ class FaultInjector:
                 if rule.kind == "transient":
                     self.stats.transient += 1
                     raise DeviceFault(device_id, op, "transient", wi)
+                if rule.kind == "oom":
+                    self.stats.oom += 1
+                    raise DeviceMemoryError(
+                        f"injected oom on device {device_id} in {op!r}"
+                        + (f" during outer iteration {wi}" if wi is not None else "")
+                    )
+                if rule.kind == "hang":
+                    self.stats.hang += 1
+                    return "hang"
                 corrupt = True  # corrupt: flag and keep scanning
             if corrupt:
                 self.stats.corrupt += 1
@@ -365,7 +437,8 @@ class FaultInjector:
 
 
 class FaultyGPU:
-    """A :class:`VirtualGPU` whose launches pass through a fault injector.
+    """A :class:`VirtualGPU` whose launches pass through a fault injector
+    and (optionally) a hang watchdog.
 
     Transparent proxy: everything except the launch methods (and
     :meth:`transfer_to_device`) delegates to the wrapped device, so
@@ -373,11 +446,26 @@ class FaultyGPU:
     injected fault is also tallied on the device's
     :class:`~repro.device.virtual_gpu.KernelCounters` (``faults_injected``)
     so per-device accounting survives into :class:`SearchResult`.
+
+    When a :class:`~repro.core.watchdog.LaunchWatchdog` is attached,
+    every launch runs under a deadline guard: a launch that overruns is
+    *cancelled* — its result is discarded and :class:`DeviceFault`
+    (``kind="hang"``) is raised instead, exactly once per watchdog trip.
+    Injected ``hang`` faults stall cooperatively on the guard's cancel
+    event until the watchdog trips them.  Either proxy concern works
+    without the other: ``injector=None`` gives a pure deadline guard,
+    ``watchdog=None`` pure injection.
     """
 
-    def __init__(self, gpu: VirtualGPU, injector: FaultInjector) -> None:
+    def __init__(
+        self,
+        gpu: VirtualGPU,
+        injector: FaultInjector | None = None,
+        watchdog: "object | None" = None,
+    ) -> None:
         self._gpu = gpu
         self._injector = injector
+        self._watchdog = watchdog
 
     def __getattr__(self, name: str):
         return getattr(self._gpu, name)
@@ -388,54 +476,96 @@ class FaultyGPU:
     # ------------------------------------------------------------------ #
 
     def _gate(self, op: str) -> str | None:
+        if self._injector is None:
+            return None
         try:
             return self._injector.on_launch(self._gpu.device_id, op)
-        except DeviceFault:
+        except (DeviceFault, DeviceMemoryError):
             self._gpu.counters.record_fault()
             raise
 
+    def _current_wi(self) -> int | None:
+        if self._injector is None:
+            return None
+        return self._injector.current_iteration(self._gpu.device_id)
+
+    def _hang_fault(self, op: str, *, injected: bool) -> DeviceFault:
+        if injected:
+            # Only injector-scheduled hangs count toward faults_injected;
+            # a real overrun cancelled by the watchdog is not an injection.
+            self._gpu.counters.record_fault()
+        return DeviceFault(self._gpu.device_id, op, "hang", self._current_wi())
+
+    def _execute(self, op: str, fn):
+        """Gate, guard and run one launch; returns ``(result, action)``."""
+        action = self._gate(op)
+        hang = action == "hang"
+        watchdog = self._watchdog
+        if watchdog is None:
+            if hang:
+                # Nothing would ever cancel the stall (no armed watchdog):
+                # degrade the injected hang to an immediate hang fault.
+                raise self._hang_fault(op, injected=True)
+            return fn(), action
+        with watchdog.guard(self._gpu.device_id, op) as ticket:
+            out = ticket.stall() if hang else fn()
+        if ticket.tripped:
+            raise self._hang_fault(op, injected=hang)
+        return out, action
+
     def transfer_to_device(self, nbytes: int) -> None:
-        self._gate("transfer")
-        self._gpu.transfer_to_device(nbytes)
+        self._execute("transfer", lambda: self._gpu.transfer_to_device(nbytes))
 
     def launch_combine(self, planes, first_offset, second_offset, block_size):
-        self._gate("combine")
-        return self._gpu.launch_combine(
-            planes, first_offset, second_offset, block_size
+        out, _ = self._execute(
+            "combine",
+            lambda: self._gpu.launch_combine(
+                planes, first_offset, second_offset, block_size
+            ),
         )
+        return out
 
     def launch_pairwise(self, plane_dot_ops: int) -> None:
-        self._gate("pairwPop")
-        self._gpu.launch_pairwise(plane_dot_ops)
+        self._execute("pairwPop", lambda: self._gpu.launch_pairwise(plane_dot_ops))
 
     def launch_tensor3(self, combined, class_planes, t_start, t_stop, block_size):
-        self._gate("tensor3")
-        return self._gpu.launch_tensor3(
-            combined, class_planes, t_start, t_stop, block_size
+        out, _ = self._execute(
+            "tensor3",
+            lambda: self._gpu.launch_tensor3(
+                combined, class_planes, t_start, t_stop, block_size
+            ),
         )
+        return out
 
     def launch_tensor3_batch(
         self, combined_list, class_planes, t_start, t_stop, block_size
     ):
         # One gate per fused launch: a batched launch fails (or survives)
         # as a unit, exactly like the hardware launch it models.
-        self._gate("tensor3")
-        return self._gpu.launch_tensor3_batch(
-            combined_list, class_planes, t_start, t_stop, block_size
+        out, _ = self._execute(
+            "tensor3",
+            lambda: self._gpu.launch_tensor3_batch(
+                combined_list, class_planes, t_start, t_stop, block_size
+            ),
         )
+        return out
 
     def launch_tensor4(self, combined_wx, combined_yz, block_size):
-        action = self._gate("tensor4")
-        out = self._gpu.launch_tensor4(combined_wx, combined_yz, block_size)
+        out, action = self._execute(
+            "tensor4",
+            lambda: self._gpu.launch_tensor4(combined_wx, combined_yz, block_size),
+        )
         if action == "corrupt":
             self._gpu.counters.record_fault()
             out = self._injector.corrupt_output(out)
         return out
 
     def launch_tensor4_batch(self, combined_wx, combined_yz_list, block_size):
-        action = self._gate("tensor4")
-        outs = self._gpu.launch_tensor4_batch(
-            combined_wx, combined_yz_list, block_size
+        outs, action = self._execute(
+            "tensor4",
+            lambda: self._gpu.launch_tensor4_batch(
+                combined_wx, combined_yz_list, block_size
+            ),
         )
         if action == "corrupt":
             # Corrupt the batch's first member: round-level validation of
@@ -447,8 +577,8 @@ class FaultyGPU:
         return outs
 
     def launch_plane_gemm(self, category, a, b):
-        self._gate(category)
-        return self._gpu.launch_plane_gemm(category, a, b)
+        out, _ = self._execute(category, lambda: self._gpu.launch_plane_gemm(category, a, b))
+        return out
 
     def account_score_cells(self, n_cells: int) -> None:
         self._gpu.account_score_cells(n_cells)

@@ -191,6 +191,27 @@ def format_search_report(
             f"{fl.total_requeues} requeues, "
             f"{fl.total_degraded_rounds} degraded rounds"
         )
+        kinds = fl.failures_by_kind()
+        if kinds:
+            add(
+                "  failures by kind: "
+                + ", ".join(f"{k} {n}" for k, n in sorted(kinds.items()))
+            )
+        if fl.total_watchdog_trips:
+            add(
+                f"  watchdog: {fl.total_watchdog_trips} stalled launch(es) "
+                "cancelled at the deadline"
+            )
+        if fl.total_pressure_degrades:
+            add(
+                f"  pressure: {fl.total_pressure_degrades} ladder step(s) "
+                f"down, {fl.total_pressure_expands} re-expanded"
+            )
+        if fl.total_canaries:
+            add(
+                f"  probation: {fl.total_canaries} canary iteration(s), "
+                f"{fl.total_readmits} readmission(s)"
+            )
         for line in fl.summary_lines():
             add(f"  {line}")
         if c.faults_injected:
@@ -203,6 +224,29 @@ def format_search_report(
             "  rounds re-run through the independent bitwise path "
             "(see docs/resilience.md)."
         )
+        add("")
+
+    if (
+        result.metrics is not None
+        and "epi4_journal_commits_total" in result.metrics.names()
+    ):
+        jm = result.metrics
+        add("round journal (crash-safe exactly-once resume)")
+        add(_rule())
+        add(
+            f"  commits appended    : "
+            f"{int(jm.total('epi4_journal_commits_total'))}"
+        )
+        add(
+            f"  commits replayed    : "
+            f"{int(jm.total('epi4_journal_replayed_total'))}"
+        )
+        torn = int(jm.total("epi4_journal_torn_bytes"))
+        if torn:
+            add(f"  torn bytes dropped  : {torn}")
+        compactions = int(jm.total("epi4_journal_compactions_total"))
+        if compactions:
+            add(f"  compactions         : {compactions}")
         add("")
 
     if include_model_projection:

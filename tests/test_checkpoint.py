@@ -228,3 +228,40 @@ class TestCorruptionRecovery:
         with pytest.warns(RuntimeWarning, match="corrupted"):
             with pytest.raises(ValueError, match="different search"):
                 SearchCheckpoint.load(path, _fingerprint())
+
+
+class TestTruncationProperty:
+    def test_truncation_at_every_byte_offset_recovers_a_committed_state(
+        self, tmp_path
+    ):
+        """The crash-safety property behind the .bak rotation: truncating
+        the main file at ANY byte offset loads either the latest state or
+        the previous (.bak) state — never garbage, never an exception."""
+        import warnings
+
+        path = tmp_path / "ckpt.json"
+        ckpt = SearchCheckpoint(fingerprint=_fingerprint())
+        reducer = TopKReducer(1)
+        reducer.seed([Solution.from_quad((0, 5, 8, 13), 3.0)])
+        ckpt.record(0, reducer)
+        ckpt.save(path)  # previous state -> will rotate to .bak
+        ckpt.record(1, reducer)
+        ckpt.save(path)  # latest state
+        data = path.read_bytes()
+        bak = (tmp_path / "ckpt.json.bak").read_bytes()
+        acceptable = ({0}, {0, 1})  # .bak state, latest state
+        for cut in range(len(data) + 1):
+            path.write_bytes(data[:cut])
+            (tmp_path / "ckpt.json.bak").write_bytes(bak)
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                loaded = SearchCheckpoint.load(path, _fingerprint())
+            assert loaded.completed in acceptable, (
+                f"truncation at byte {cut} recovered {loaded.completed!r}"
+            )
+            assert [s.packed for s in loaded.solutions] == [
+                Solution.from_quad((0, 5, 8, 13), 3.0).packed
+            ]
+        # The untruncated file recovers the latest state, not the backup.
+        path.write_bytes(data)
+        assert SearchCheckpoint.load(path, _fingerprint()).completed == {0, 1}

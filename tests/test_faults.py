@@ -7,6 +7,8 @@ from repro.datasets import generate_random_dataset
 from repro.datasets.encoding import encode_dataset
 from repro.device import A100_PCIE, VirtualGPU
 from repro.device.faults import (
+    FAULT_KINDS,
+    KIND_KEYS,
     DeviceFault,
     FaultInjector,
     FaultPlan,
@@ -232,3 +234,115 @@ class TestFaultPlan:
         second = FaultInjector(plan)
         with pytest.raises(DeviceFault):
             second.on_launch(0, "combine")
+
+
+class TestPerKindKeyRejection:
+    """Unknown/duplicate keys are rejected per kind, with the clause index."""
+
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    def test_unknown_key_names_the_kind_and_its_valid_keys(self, kind):
+        with pytest.raises(ValueError) as exc:
+            parse_fault_spec(f"{kind}:bogus=1")
+        msg = str(exc.value)
+        assert "bogus" in msg
+        assert kind in msg
+        for valid in KIND_KEYS[kind]:
+            assert valid in msg
+
+    def test_error_carries_one_based_clause_index(self):
+        with pytest.raises(ValueError, match=r"clause 2"):
+            parse_fault_spec("transient:count=1;hang:bogus=1")
+
+    def test_error_carries_the_offending_clause_text(self):
+        with pytest.raises(ValueError, match=r"'oom:frobnicate=3'"):
+            parse_fault_spec("transient;oom:frobnicate=3")
+
+    def test_duplicate_key_rejected_with_clause_index(self):
+        with pytest.raises(ValueError, match=r"clause 1.*duplicate key 'count'"):
+            parse_fault_spec("transient:count=1,count=2")
+
+    def test_kind_keys_covers_every_kind(self):
+        assert set(KIND_KEYS) == set(FAULT_KINDS)
+
+
+class TestReprRoundTrip:
+    """``repr`` of rules and plans is ``eval``-able back to equality, so
+    failure reports and logs can quote an exact reproduction recipe."""
+
+    _NAMESPACE = {"FaultRule": FaultRule, "FaultPlan": FaultPlan}
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "transient:op=tensor4,count=2",
+            "persistent:device=1,at=3",
+            "corrupt:iter=0",
+            "hang:op=tensor4,p=0.25",
+            "oom:device=2,count=4",
+        ],
+    )
+    def test_rule_round_trips(self, spec):
+        rule = parse_fault_spec(spec).rules[0]
+        assert eval(repr(rule), dict(self._NAMESPACE)) == rule
+
+    def test_plan_round_trips(self):
+        plan = parse_fault_spec(
+            "transient:p=0.5;hang:op=tensor4;oom:count=2;seed=42"
+        )
+        clone = eval(repr(plan), dict(self._NAMESPACE))
+        assert clone == plan
+        assert clone.rules == plan.rules and clone.seed == plan.seed
+
+
+class TestHangAndOomInjection:
+    def test_on_launch_returns_hang_action_and_counts(self):
+        inj = FaultInjector(parse_fault_spec("hang:op=tensor4,count=2"))
+        assert inj.on_launch(0, "combine") is None
+        assert inj.on_launch(0, "tensor4") == "hang"
+        assert inj.on_launch(0, "tensor4") == "hang"
+        assert inj.on_launch(0, "tensor4") is None  # budget spent
+        assert inj.stats.hang == 2
+        assert inj.stats.total == 2
+
+    def test_on_launch_raises_device_memory_error_for_oom(self):
+        from repro.device.memory import DeviceMemoryError
+
+        inj = FaultInjector(parse_fault_spec("oom:count=1"))
+        with pytest.raises(DeviceMemoryError, match="injected oom"):
+            inj.on_launch(1, "tensor4")
+        assert inj.on_launch(1, "tensor4") is None
+        assert inj.stats.oom == 1
+
+    def test_plan_has_hang_property(self):
+        assert parse_fault_spec("hang").has_hang
+        assert not parse_fault_spec("transient;oom").has_hang
+
+    def test_hang_without_watchdog_degrades_to_immediate_fault(self):
+        gpu = VirtualGPU(A100_PCIE, device_id=2)
+        inj = FaultInjector(parse_fault_spec("hang:op=transfer,count=1"))
+        faulty = FaultyGPU(gpu, inj)  # no watchdog armed
+        with pytest.raises(DeviceFault) as exc:
+            faulty.transfer_to_device(64)
+        assert exc.value.kind == "hang"
+        assert exc.value.device_id == 2
+        assert gpu.counters.faults_injected == 1
+        # The launch never ran: nothing was transferred.
+        assert gpu.counters.transfer_bytes == 0
+
+    def test_hang_with_watchdog_stalls_until_cancelled(self):
+        from repro.core.watchdog import LaunchWatchdog
+
+        gpu = VirtualGPU(A100_PCIE, device_id=0)
+        inj = FaultInjector(parse_fault_spec("hang:op=transfer,count=1"))
+        dog = LaunchWatchdog(20.0)
+        try:
+            faulty = FaultyGPU(gpu, inj, dog)
+            with pytest.raises(DeviceFault) as exc:
+                faulty.transfer_to_device(64)
+            assert exc.value.kind == "hang"
+            assert dog.trips == 1
+            # The next launch is clean and passes through.
+            faulty.transfer_to_device(64)
+            assert gpu.counters.transfer_bytes == 64
+        finally:
+            dog.close()

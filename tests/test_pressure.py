@@ -1,0 +1,117 @@
+"""Unit tests for the memory-pressure governor's degradation ladder."""
+
+import pytest
+
+from repro.core.operand_cache import OperandCache
+from repro.core.pressure import LADDER, MIN_CHUNK_CELLS, PressureGovernor
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_relax_after_must_be_positive(self, bad):
+        with pytest.raises(ValueError, match="relax_after"):
+            PressureGovernor(relax_after=bad)
+
+
+class TestLadder:
+    def test_escalates_in_documented_order_then_exhausts(self):
+        gov = PressureGovernor()
+        steps = [gov.escalate() for _ in range(len(LADDER))]
+        assert steps == list(LADDER)
+        assert gov.level == len(LADDER)
+        assert gov.escalate() is None  # exhausted: caller must propagate
+        assert gov.degrade_total == len(LADDER)
+
+    def test_max_level_tracks_peak_not_current(self):
+        gov = PressureGovernor(relax_after=1)
+        gov.escalate()
+        gov.escalate()
+        gov.note_clean_round()  # back to level 1
+        assert gov.level == 1
+        assert gov.summary()["max_level"] == 2
+
+    def test_effective_knobs_per_level(self):
+        gov = PressureGovernor()
+        # Level 0: everything at full footprint.
+        assert gov.effective_batch_rounds(8) == 8
+        assert gov.effective_chunk_cells(4096) == 4096
+        assert gov.triplets_enabled(True)
+        gov.escalate()  # 1: cache only
+        assert gov.effective_batch_rounds(8) == 8
+        gov.escalate()  # 2: batch halved
+        assert gov.effective_batch_rounds(8) == 4
+        assert gov.effective_batch_rounds(1) == 1  # floor
+        assert gov.effective_chunk_cells(4096) == 4096
+        gov.escalate()  # 3: chunk halved
+        assert gov.effective_chunk_cells(4096) == 2048
+        assert gov.effective_chunk_cells(100) == MIN_CHUNK_CELLS  # floor
+        assert gov.triplets_enabled(True)
+        gov.escalate()  # 4: triplets off
+        assert not gov.triplets_enabled(True)
+        assert not gov.triplets_enabled(False)
+
+    def test_triplets_respect_configured_off(self):
+        gov = PressureGovernor()
+        assert not gov.triplets_enabled(False)
+
+
+class TestRelaxation:
+    def test_relaxes_one_level_after_enough_clean_rounds(self):
+        gov = PressureGovernor(relax_after=3)
+        gov.escalate()
+        gov.escalate()
+        assert gov.note_clean_round() is None
+        assert gov.note_clean_round() is None
+        step = gov.note_clean_round()
+        assert step == LADDER[1]  # the step just re-expanded
+        assert gov.level == 1
+        assert gov.expand_total == 1
+
+    def test_escalation_resets_clean_round_counter(self):
+        gov = PressureGovernor(relax_after=2)
+        gov.escalate()
+        gov.note_clean_round()
+        gov.escalate()  # a new fault voids accumulated clean rounds
+        assert gov.note_clean_round() is None
+        assert gov.note_clean_round() is not None
+
+    def test_level_zero_clean_rounds_are_free(self):
+        gov = PressureGovernor(relax_after=1)
+        assert gov.note_clean_round() is None
+        assert gov.expand_total == 0
+
+
+class TestCacheBudget:
+    def test_level_one_halves_and_relax_restores(self):
+        cache = OperandCache(capacity_bytes=1000.0)
+        gov = PressureGovernor(relax_after=1, cache=cache)
+        gov.escalate()
+        assert cache.capacity_bytes == 500.0
+        gov.note_clean_round()
+        assert cache.capacity_bytes == 1000.0
+
+    def test_attach_cache_applies_current_level(self):
+        gov = PressureGovernor()
+        gov.escalate()
+        cache = OperandCache(capacity_bytes=1000.0)
+        gov.attach_cache(cache)
+        assert cache.capacity_bytes == 500.0
+
+    def test_bare_governor_tolerates_no_cache(self):
+        gov = PressureGovernor()
+        assert gov.escalate() == LADDER[0]  # no AttributeError
+
+
+class TestMetrics:
+    def test_exports_level_gauge_and_peak(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        gov = PressureGovernor()
+        reg = MetricsRegistry()
+        gov.export_metrics(reg)
+        assert reg.total("epi4_pressure_level") == 0.0
+        assert "epi4_pressure_max_level_reached" not in reg.names()
+        gov.escalate()
+        gov.export_metrics(reg)
+        assert reg.total("epi4_pressure_level") == 1.0
+        assert reg.total("epi4_pressure_max_level_reached") == 1.0

@@ -292,3 +292,134 @@ class TestCheckpointRecoveryUnderFaults:
         )
         resumed = search2.run(checkpoint_path=ckpt)
         assert _solutions(resumed) == _solutions(baseline)
+
+
+class TestHangWatchdog:
+    """Acceptance: hang faults cancelled by the watchdog are recovered
+    bit-identically, with watchdog activity visible in the metrics."""
+
+    def test_hang_faults_bit_identical_with_deadline(self):
+        ds = _dataset()
+        _, baseline = _run(ds)
+        spec = f"hang:op=tensor4,count=2;seed={FAULT_SEED}"
+        search, faulty = _run(
+            ds,
+            inject_faults=spec,
+            deadline_ms=50.0,
+            max_retries=3,
+        )
+        assert _solutions(faulty) == _solutions(baseline)
+        assert search.metrics.total("epi4_watchdog_trips_total") == 2
+        assert search.fault_log.failures_by_kind().get("hang", 0) == 2
+
+    def test_hang_spec_without_deadline_rejected_up_front(self):
+        with pytest.raises(ValueError, match="deadline_ms"):
+            SearchConfig(inject_faults="hang:op=tensor4", block_size=4)
+
+    def test_deadline_without_hangs_is_harmless(self):
+        ds = _dataset()
+        _, baseline = _run(ds)
+        search, timed = _run(ds, deadline_ms=60_000.0)
+        assert _solutions(timed) == _solutions(baseline)
+        assert search.fault_log.total_watchdog_trips == 0
+
+
+class TestMemoryPressure:
+    """Acceptance: oom faults walk the degradation ladder instead of
+    aborting, and the reduced footprint never changes the result."""
+
+    def test_oom_faults_bit_identical_via_ladder(self):
+        ds = _dataset()
+        _, baseline = _run(ds)
+        spec = f"oom:op=tensor4,count=3;seed={FAULT_SEED}"
+        search, faulty = _run(ds, inject_faults=spec, max_retries=0)
+        assert _solutions(faulty) == _solutions(baseline)
+        assert search.metrics.total("epi4_pressure_degrade_total") == 3
+        # The ladder consumed no retry budget: no device failures logged.
+        assert search.fault_log.failures_by_kind() == {}
+
+    def test_ladder_exhaustion_propagates(self):
+        from repro.core.pressure import LADDER
+        from repro.device.memory import DeviceMemoryError
+
+        ds = _dataset()
+        spec = f"oom:op=tensor4,count={len(LADDER) + 2};seed={FAULT_SEED}"
+        with pytest.raises(DeviceMemoryError):
+            _run(ds, inject_faults=spec, max_retries=0)
+
+    def test_pressure_off_propagates_oom_immediately(self):
+        from repro.device.memory import DeviceMemoryError
+
+        ds = _dataset()
+        spec = f"oom:op=tensor4,count=1;seed={FAULT_SEED}"
+        with pytest.raises(DeviceMemoryError):
+            _run(ds, inject_faults=spec, pressure=False, max_retries=0)
+
+    def test_relaxation_reexpands_after_clean_rounds(self):
+        ds = _dataset(n_snps=16)
+        spec = f"oom:op=tensor4,count=1;seed={FAULT_SEED}"
+        search, result = _run(
+            ds,
+            inject_faults=spec,
+            max_retries=0,
+            pressure_relax_rounds=1,
+        )
+        _, baseline = _run(_dataset(n_snps=16))
+        assert _solutions(result) == _solutions(baseline)
+        assert search.fault_log.total_pressure_expands >= 1
+        assert search.metrics.value("epi4_pressure_level") == 0.0
+
+
+class TestQuarantineProbation:
+    """Acceptance: a quarantined device serves probation and is either
+    readmitted after a clean canary or retired for good."""
+
+    def _probation_run(self, spec, **kwargs):
+        ds = generate_random_dataset(32, 160, seed=11)
+        kwargs.setdefault("max_retries", 0)
+        kwargs.setdefault("quarantine_after", 1)
+        kwargs.setdefault("probation_rounds", 1)
+        kwargs.setdefault("host_threads", 2)
+        return ds, *_run(ds, n_gpus=2, inject_faults=spec, **kwargs)
+
+    def test_transient_offender_is_readmitted_after_canary(self):
+        spec = f"transient:device=0,op=tensor4,count=2;seed={FAULT_SEED}"
+        ds, search, result = self._probation_run(spec)
+        _, baseline = _run(generate_random_dataset(32, 160, seed=11))
+        assert _solutions(result) == _solutions(baseline)
+        fl = search.fault_log
+        assert fl.total_canaries >= 1
+        assert fl.total_readmits == 1
+        # The readmitted device went back to useful work.
+        executed_by_dev0 = result.executed_assignment[0]
+        assert executed_by_dev0, "device 0 never executed after readmission"
+
+    def test_persistent_offender_retires_and_fleet_completes(self):
+        spec = f"persistent:device=0,op=tensor4;seed={FAULT_SEED}"
+        ds, search, result = self._probation_run(spec)
+        _, baseline = _run(generate_random_dataset(32, 160, seed=11))
+        assert _solutions(result) == _solutions(baseline)
+        fl = search.fault_log
+        # Every canary failed; the healthy device finished the queue.
+        assert fl.total_readmits == 0
+        assert 0 in fl.quarantined_devices
+        assert sorted(
+            wi for dev in result.executed_assignment for wi in dev
+        ) == sorted(set(range(result.block_scheme.nb)))
+
+
+class TestElasticConfigValidation:
+    @pytest.mark.parametrize("bad", [0.0, -5.0])
+    def test_bad_deadline_rejected(self, bad):
+        with pytest.raises(ValueError, match="deadline_ms"):
+            SearchConfig(deadline_ms=bad)
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_bad_pressure_relax_rejected(self, bad):
+        with pytest.raises(ValueError, match="pressure_relax_rounds"):
+            SearchConfig(pressure_relax_rounds=bad)
+
+    @pytest.mark.parametrize("bad", [0, -3])
+    def test_bad_probation_rounds_rejected(self, bad):
+        with pytest.raises(ValueError, match="probation_rounds"):
+            SearchConfig(probation_rounds=bad)

@@ -1,19 +1,57 @@
-"""§6 ongoing work: projected multi-node scaling + §3.6 broadcast claim.
+"""§6 ongoing work: multi-node scaling — modelled *and* measured.
 
-Extends the calibrated model one level up (nodes of 8x A100 SXM4) and
-quantifies the §3.6 statement that dataset distribution strategy cannot
-matter at search scale.
+Two layers:
+
+- the calibrated model extended one level up (nodes of 8x A100 SXM4)
+  plus the §3.6 statement that dataset distribution strategy cannot
+  matter at search scale;
+- the **real sharded runner** (``repro.dist``): a matrix of shard
+  counts/strategies executed end to end, each cell's measured per-shard
+  schedule and tensor-op counters checked against
+  :func:`repro.perfmodel.multinode.predict_shard_schedule` and the
+  workload closed forms, and every cell's merged ``top_k_sha256``
+  required to be one and the same digest.
+
+Results append to ``BENCH_multinode.json`` next to this file.
+Set ``EPI4TENSOR_BENCH_SMALL=1`` for a CI-sized workload.
 """
 
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core.search import Epi4TensorSearch, SearchConfig
+from repro.datasets import generate_random_dataset
 from repro.device.broadcast import (
     broadcast_host_serial,
     broadcast_p2p_allgather,
     broadcast_runtime_share,
 )
-from repro.perfmodel.multinode import predict_multi_node
+from repro.dist import run_sharded
+from repro.obs.manifest import solutions_digest
+from repro.perfmodel.multinode import predict_multi_node, predict_shard_schedule
 from repro.perfmodel.workload import search_workload
 
 from conftest import print_table
+
+_SMALL = os.environ.get("EPI4TENSOR_BENCH_SMALL") == "1"
+N_SNPS = 32 if _SMALL else 48   # nb = 8 / 12 outer iterations at B=4
+N_SAMPLES = 96 if _SMALL else 128
+BLOCK = 4
+RESULTS_PATH = Path(__file__).with_name("BENCH_multinode.json")
+
+#: (label, shard count, strategy, extra config, real worker processes?)
+SHARD_CELLS = [
+    ("1-shard", 1, "contiguous", {}, False),
+    ("2-shard", 2, "contiguous", {}, False),
+    ("4-shard", 4, "contiguous", {}, False),
+    ("4-shard strided", 4, "strided", {}, False),
+    ("2-shard cache-off", 2, "contiguous", {"cache_triplets": False}, False),
+    ("2-shard spawn", 2, "contiguous", {}, True),
+]
 
 
 def test_multi_node_projection(benchmark):
@@ -69,3 +107,128 @@ def test_broadcast_strategies(benchmark):
     # runtime" — both shares are noise.
     assert shares["host_serial"] < 0.001
     assert shares["p2p_allgather"] < 0.001
+
+
+def test_sharded_runner_measured_vs_model(benchmark, tmp_path):
+    ds = generate_random_dataset(N_SNPS, N_SAMPLES, seed=42)
+    reference = Epi4TensorSearch(
+        ds, SearchConfig(block_size=BLOCK, top_k=5)
+    ).run()
+    reference_digest = solutions_digest(reference.top_solutions)
+
+    def sweep():
+        runs = []
+        for label, n_shards, strategy, extra, spawn in SHARD_CELLS:
+            config = SearchConfig(block_size=BLOCK, top_k=5, **extra)
+            out_dir = tmp_path / label.replace(" ", "_")
+            start = time.perf_counter()
+            merged = run_sharded(
+                ds,
+                config,
+                n_shards=n_shards,
+                out_dir=out_dir,
+                strategy=strategy,
+                inline=not spawn,
+            )
+            runs.append((label, merged, time.perf_counter() - start))
+        return runs
+
+    runs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    nb = reference.block_scheme.nb
+    rows, records = [], []
+    for (label, n_shards, strategy, extra, spawn), (
+        _,
+        merged,
+        wall,
+    ) in zip(SHARD_CELLS, runs):
+        shard_records = []
+        max_rel_err = 0.0
+        for artifact in merged.shards:
+            iterations = [int(w) for w in artifact["shard"]["iterations"]]
+            predicted = predict_shard_schedule(
+                iterations, nb, BLOCK, N_SAMPLES, n_gpus=1
+            )
+            measured = artifact["schedule"]
+            # The measured dynamic schedule must be the predicted one.
+            assert measured["assignment"] == predicted.assignment, (
+                f"{label}: shard {artifact['shard']['index']} schedule "
+                "diverged from the perfmodel"
+            )
+            rel_err = abs(
+                measured["total_cost"] - predicted.total_cost
+            ) / max(predicted.total_cost, 1.0)
+            max_rel_err = max(max_rel_err, rel_err)
+            counters = artifact["counters"]
+            model = artifact["model"]
+            # Tensor4 volume is cache-invariant: exact in every cell.
+            t4 = counters["tensor_ops_by_kernel"].get("tensor4", 0)
+            assert t4 == model["tensor4_ops"], label
+            # Total raw tensor ops match the closed form exactly when the
+            # triplet cache is off (the guaranteed case; with the cache
+            # on, reuse could in principle shift executed volume).
+            if extra.get("cache_triplets", True) is False:
+                assert counters["tensor_ops_raw"] == model["tensor_ops"], label
+            shard_records.append(
+                {
+                    "index": artifact["shard"]["index"],
+                    "iterations": iterations,
+                    "measured_total_cost": measured["total_cost"],
+                    "modeled_total_cost": predicted.total_cost,
+                    "measured_tensor_ops": counters["tensor_ops_raw"],
+                    "modeled_tensor_ops": model["tensor_ops"],
+                    "tensor4_ops": model["tensor4_ops"],
+                }
+            )
+        assert max_rel_err < 1e-9, f"{label}: cost drift {max_rel_err}"
+        rows.append(
+            [
+                label,
+                n_shards,
+                strategy,
+                "spawn" if spawn else "inline",
+                f"{wall:7.2f}",
+                merged.top_k_sha256[:12],
+            ]
+        )
+        records.append(
+            {
+                "config": label,
+                "n_shards": n_shards,
+                "strategy": strategy,
+                "spawn": spawn,
+                "wall_seconds": wall,
+                "top_k_sha256": merged.top_k_sha256,
+                "shards": shard_records,
+            }
+        )
+
+    print_table(
+        f"sharded runner, measured vs model (M={N_SNPS}, N={N_SAMPLES}, "
+        f"B={BLOCK}, nb={nb})",
+        ["config", "shards", "strategy", "mode", "wall s", "digest"],
+        rows,
+    )
+
+    # Bit-identity: every cell — any shard count, strategy, cache mode,
+    # inline or spawn — produces the unsharded run's exact digest.
+    digests = {rec["top_k_sha256"] for rec in records}
+    assert digests == {reference_digest}, digests
+
+    # --- persist --------------------------------------------------------- #
+    history = []
+    if RESULTS_PATH.exists():
+        history = json.loads(RESULTS_PATH.read_text())
+    history.append(
+        {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "n_snps": N_SNPS,
+            "n_samples": N_SAMPLES,
+            "block_size": BLOCK,
+            "nb": nb,
+            "small": _SMALL,
+            "top_k_sha256": reference_digest,
+            "cells": records,
+        }
+    )
+    RESULTS_PATH.write_text(json.dumps(history, indent=2) + "\n")

@@ -165,6 +165,43 @@ def _add_search(sub: argparse._SubParsersAction) -> None:
         help="write the deterministic run manifest (config, dataset "
         "digest, seeds, versions, ranked-solution digest) as JSON",
     )
+    p.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="split the outer Wi loop into N communication-free shards "
+        "run in separate processes, then merge deterministically "
+        "(bit-identical to an unsharded run; see docs/distributed.md)",
+    )
+    p.add_argument(
+        "--shard-index", type=int, default=None, metavar="I",
+        help="with --shards N: run only shard I in this process and "
+        "write its artifact into --dist-dir (manual per-node mode for "
+        "real clusters; merge later with --merge)",
+    )
+    p.add_argument(
+        "--shard-strategy", default="contiguous",
+        choices=("contiguous", "strided"),
+        help="shard planning strategy: cost-balanced contiguous runs "
+        "(default) or strided round-robin",
+    )
+    p.add_argument(
+        "--dist-dir", default="epi4-shards", metavar="DIR",
+        help="shared output directory for shard journals, artifacts and "
+        "the merged manifest/metrics (default: epi4-shards)",
+    )
+    p.add_argument(
+        "--max-procs", type=int, default=None, metavar="P",
+        help="concurrent shard worker processes (default: all shards)",
+    )
+    p.add_argument(
+        "--shard-restarts", type=int, default=2, metavar="R",
+        help="times a dead shard worker is respawned (journal-resumed) "
+        "before the run aborts (default: 2)",
+    )
+    p.add_argument(
+        "--merge", default=None, metavar="DIR",
+        help="merge previously written shard artifacts from DIR and "
+        "print the global result (no search is run)",
+    )
 
 
 def _add_predict(sub: argparse._SubParsersAction) -> None:
@@ -233,11 +270,166 @@ def _load_or_generate(args: argparse.Namespace):
     return dataset
 
 
+def _search_config_from_args(args: argparse.Namespace):
+    """Build the fourth-order :class:`SearchConfig` from parsed flags
+    (shared by the plain, sharded-coordinator and shard-worker modes)."""
+    from repro.core.search import SearchConfig
+
+    config_kwargs = {}
+    if args.max_chunk_cells is not None:
+        config_kwargs["max_chunk_cells"] = args.max_chunk_cells
+    return SearchConfig(
+        block_size=args.block_size,
+        score=args.score,
+        engine_kind=args.engine,
+        top_k=args.top_k,
+        selfcheck=args.selfcheck,
+        score_path=args.score_path,
+        cache_triplets=not args.no_cache_triplets,
+        autotune=args.autotune,
+        cache_mb=args.cache_mb,
+        batch_rounds=args.batch_rounds,
+        n_streams=args.n_streams,
+        overlap=not args.no_overlap,
+        host_threads=args.host_threads,
+        max_retries=args.max_retries,
+        backoff_base_ms=args.backoff_base_ms,
+        quarantine_after=args.quarantine_after,
+        inject_faults=args.inject_faults,
+        deadline_ms=args.deadline_ms,
+        pressure=args.pressure == "on",
+        probation_rounds=args.probation_rounds,
+        **config_kwargs,
+    )
+
+
+def _print_merged(merged, names=None) -> None:
+    for rank, sol in enumerate(merged.solutions, start=1):
+        w, x, y, z = sol.quad
+        labels = (
+            f"  {names[w]}, {names[x]}, {names[y]}, {names[z]}"
+            if names is not None
+            else ""
+        )
+        print(f"#{rank}: ({w}, {x}, {y}, {z}){labels}  score {sol.score:.6f}")
+    print(f"shards    : {merged.n_shards} over {merged.nb} outer iterations")
+    print(f"digest    : top_k_sha256 {merged.top_k_sha256}")
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    """``--merge DIR``: reduce previously written shard artifacts."""
+    from repro.dist import merge_shards
+    from repro.dist.coordinator import _export_merged
+
+    merged = merge_shards(args.merge)
+    _export_merged(merged, args.merge)
+    _print_merged(merged)
+    print(f"manifest  : written to {args.merge}/merged-manifest.json")
+    return 0
+
+
+def _cmd_sharded(args: argparse.Namespace) -> int:
+    """``--shards N`` (coordinator) / ``--shards N --shard-index I``
+    (single-shard worker, for manual per-node runs)."""
+    import os
+
+    from repro.dist import plan_shards, run_shard, run_sharded
+    from repro.dist.coordinator import DATASET_NAME
+    from repro.dist.worker import build_request
+    from repro.obs.manifest import _config_dict
+
+    if args.order != 4:
+        raise SystemExit("--shards requires --order 4")
+    if args.shards is None or args.shards < 1:
+        raise SystemExit("--shard-index requires --shards N (N >= 1)")
+    dataset = _load_or_generate(args)
+    if args.qc:
+        from repro.datasets.qc import apply_qc
+
+        dataset, qc_report = apply_qc(dataset)
+        print(qc_report.summary())
+    config = _search_config_from_args(args)
+
+    if args.shard_index is None:
+        merged = run_sharded(
+            dataset,
+            config,
+            n_shards=args.shards,
+            out_dir=args.dist_dir,
+            spec_name=args.gpu,
+            n_gpus=args.n_gpus,
+            strategy=args.shard_strategy,
+            max_procs=args.max_procs,
+            max_restarts=args.shard_restarts,
+        )
+        _print_merged(merged, dataset.snp_names)
+        print(f"manifest  : written to {args.dist_dir}/merged-manifest.json")
+        if args.report:
+            from repro.reporting import format_merged_report
+
+            with open(args.report, "w", encoding="utf-8") as fh:
+                fh.write(format_merged_report(merged))
+            print(f"report    : written to {args.report}")
+        return 0
+
+    # Worker mode: plan deterministically (every node derives the same
+    # plan from the same dataset/flags), execute one shard, export.
+    from repro.core.search import Epi4TensorSearch
+    from repro.datasets import save_dataset
+    from repro.device.specs import gpu_by_name
+
+    probe = Epi4TensorSearch(
+        dataset, config, spec=gpu_by_name(args.gpu), n_gpus=args.n_gpus
+    )
+    plan = plan_shards(
+        probe.scheme.nb,
+        args.shards,
+        block_size=config.block_size,
+        n_samples=probe.encoded.n_samples,
+        strategy=args.shard_strategy,
+    )
+    if not 0 <= args.shard_index < args.shards:
+        raise SystemExit(
+            f"--shard-index must be in [0, {args.shards}), "
+            f"got {args.shard_index}"
+        )
+    os.makedirs(args.dist_dir, exist_ok=True)
+    dataset_path = os.path.join(args.dist_dir, DATASET_NAME)
+    if not os.path.exists(dataset_path):
+        save_dataset(dataset_path, dataset)
+    shard = plan.shard(args.shard_index)
+    artifact = run_shard(
+        build_request(
+            dataset_path=dataset_path,
+            out_dir=args.dist_dir,
+            shard=shard.to_dict(),
+            nb=plan.nb,
+            config=_config_dict(config),
+            spec_name=args.gpu,
+            n_gpus=args.n_gpus,
+        )
+    )
+    print(f"shard     : {shard.index} of {shard.count} "
+          f"({len(shard.iterations)} outer iterations "
+          f"{list(shard.iterations)})")
+    print(f"digest    : shard top_k_sha256 {artifact['top_k_sha256']}")
+    print(f"artifact  : written to {args.dist_dir}/"
+          f"shard-{shard.index}of{shard.count}.json")
+    print(f"merge     : epi4tensor search --merge {args.dist_dir} "
+          "(after all shards finish)")
+    return 0
+
+
 def _cmd_search(args: argparse.Namespace) -> int:
     from repro.core.korder import search_second_order, search_third_order
-    from repro.core.search import Epi4TensorSearch, SearchConfig
+    from repro.core.search import Epi4TensorSearch
     from repro.device.specs import gpu_by_name
     from repro.scoring.significance import permutation_pvalue
+
+    if args.merge:
+        return _cmd_merge(args)
+    if args.shards is not None or args.shard_index is not None:
+        return _cmd_sharded(args)
 
     dataset = _load_or_generate(args)
     if args.qc:
@@ -265,32 +457,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
               f"({kres.n_sets_evaluated} sets, {kres.tensor_ops:.2e} tensor ops)")
         best_tuple = kres.best_tuple
     else:
-        config_kwargs = {}
-        if args.max_chunk_cells is not None:
-            config_kwargs["max_chunk_cells"] = args.max_chunk_cells
-        config = SearchConfig(
-            block_size=args.block_size,
-            score=args.score,
-            engine_kind=args.engine,
-            top_k=args.top_k,
-            selfcheck=args.selfcheck,
-            score_path=args.score_path,
-            cache_triplets=not args.no_cache_triplets,
-            autotune=args.autotune,
-            cache_mb=args.cache_mb,
-            batch_rounds=args.batch_rounds,
-            n_streams=args.n_streams,
-            overlap=not args.no_overlap,
-            host_threads=args.host_threads,
-            max_retries=args.max_retries,
-            backoff_base_ms=args.backoff_base_ms,
-            quarantine_after=args.quarantine_after,
-            inject_faults=args.inject_faults,
-            deadline_ms=args.deadline_ms,
-            pressure=args.pressure == "on",
-            probation_rounds=args.probation_rounds,
-            **config_kwargs,
-        )
+        config = _search_config_from_args(args)
         tracer = None
         if args.trace_out:
             from repro.obs.trace import Tracer

@@ -230,3 +230,26 @@ def search_fingerprint(
         f"M{n_snps}r{n_real_snps}c{n_controls}k{n_cases}B{block_size}"
         f"E{engine_kind}S{score_name}K{top_k}P{partition}G{n_gpus}"
     )
+
+
+def domain_clause(nb: int, iterations: "list[int] | tuple[int, ...]") -> str:
+    """Fingerprint clause identifying a *restricted* outer-iteration domain.
+
+    A sharded run executes only a subset of the ``nb`` outer (``Wi``)
+    iterations; its checkpoint/journal must not be confused with another
+    shard's (or with a full run's) even when every other configuration
+    clause matches.  The clause digests ``nb`` plus the sorted iteration
+    list, so any difference in the domain yields a different fingerprint
+    and resume from the wrong file is refused with the standard
+    fingerprint-mismatch error.
+
+    An unrestricted domain (all ``nb`` iterations) returns ``""`` so that
+    full-run fingerprints are unchanged from previous releases.
+    """
+    import hashlib
+
+    domain = sorted(int(i) for i in iterations)
+    if domain == list(range(nb)):
+        return ""
+    spec = f"{nb}:" + ",".join(str(i) for i in domain)
+    return "+W" + hashlib.sha256(spec.encode("ascii")).hexdigest()[:12]

@@ -98,12 +98,17 @@ class RoundJournal:
         completed: set[int],
         solutions: list[Solution],
         stats: JournalStats,
+        meta: dict | None = None,
     ) -> None:
         self.path = path
         self.fingerprint = fingerprint
         self.completed = completed
         self.solutions = solutions
         self.stats = stats
+        #: Caller-supplied identity metadata carried in the header frame
+        #: (e.g. ``{"shard_index": 2, "shard_count": 8}``); checked on
+        #: reopen so one shard's journal cannot be resumed as another's.
+        self.meta = dict(meta or {})
         self._lock = threading.Lock()
         self._fh = open(path, "ab")
 
@@ -116,6 +121,7 @@ class RoundJournal:
         path: str | os.PathLike,
         fingerprint: str,
         compact_after: int = 4096,
+        meta: dict | None = None,
     ) -> "RoundJournal":
         """Open (creating or recovering) the journal at ``path``.
 
@@ -124,9 +130,16 @@ class RoundJournal:
         truncated back to the last valid frame boundary, so the next
         append never interleaves with garbage.
 
+        Args:
+            meta: optional identity metadata (JSON-safe dict) written into
+                the header frame of a fresh journal and compared on reopen
+                — a mismatch is refused like a fingerprint mismatch.
+                ``None`` skips the comparison (legacy callers).
+
         Raises:
-            JournalError: wrong fingerprint, newer schema version, or a
-                duplicate commit frame (exactly-once violation).
+            JournalError: wrong fingerprint, mismatched header metadata,
+                newer schema version, or a duplicate commit frame
+                (exactly-once violation).
         """
         path = os.fspath(path)
         parent = os.path.dirname(os.path.abspath(path))
@@ -136,6 +149,7 @@ class RoundJournal:
         stats = JournalStats()
         frames = 0
         valid_end = 0
+        recovered_meta: dict = dict(meta or {})
         if os.path.exists(path):
             with open(path, "rb") as fh:
                 data = fh.read()
@@ -146,7 +160,8 @@ class RoundJournal:
                     break
                 payload, offset = frame
                 if frames == 0:
-                    _check_header(path, payload, fingerprint)
+                    _check_header(path, payload, fingerprint, meta)
+                    recovered_meta = dict(payload.get("meta") or {})
                 else:
                     _apply_record(path, payload, completed, solutions, stats)
                 frames += 1
@@ -165,17 +180,20 @@ class RoundJournal:
                     fh.truncate(valid_end)
                     fh.flush()
                     os.fsync(fh.fileno())
-        journal = cls(path, fingerprint, completed, solutions, stats)
+        journal = cls(
+            path, fingerprint, completed, solutions, stats, recovered_meta
+        )
         if frames == 0:
             # Fresh file (or one truncated inside the header): start over.
             journal._fh.truncate(0)
-            journal._append_locked(
-                {
-                    "type": "header",
-                    "version": JOURNAL_VERSION,
-                    "fingerprint": fingerprint,
-                }
-            )
+            header = {
+                "type": "header",
+                "version": JOURNAL_VERSION,
+                "fingerprint": fingerprint,
+            }
+            if journal.meta:
+                header["meta"] = journal.meta
+            journal._append_locked(header)
         elif frames > compact_after:
             journal.compact()
         return journal
@@ -222,16 +240,15 @@ class RoundJournal:
         """Rewrite the log as header + one snapshot frame, atomically."""
         with self._lock:
             tmp = self.path + ".tmp"
+            header = {
+                "type": "header",
+                "version": JOURNAL_VERSION,
+                "fingerprint": self.fingerprint,
+            }
+            if self.meta:
+                header["meta"] = self.meta
             with open(tmp, "wb") as fh:
-                fh.write(
-                    _frame(
-                        {
-                            "type": "header",
-                            "version": JOURNAL_VERSION,
-                            "fingerprint": self.fingerprint,
-                        }
-                    )
-                )
+                fh.write(_frame(header))
                 fh.write(
                     _frame(
                         {
@@ -314,7 +331,9 @@ def _read_frame(data: bytes, offset: int) -> tuple[dict, int] | None:
     return record, end + length
 
 
-def _check_header(path: str, record: dict, fingerprint: str) -> None:
+def _check_header(
+    path: str, record: dict, fingerprint: str, meta: dict | None = None
+) -> None:
     if record.get("type") != "header":
         raise JournalError(f"journal {path}: first frame is not a header")
     version = record.get("version")
@@ -329,6 +348,12 @@ def _check_header(path: str, record: dict, fingerprint: str) -> None:
             f"journal {path} belongs to a different search (fingerprint "
             f"{record.get('fingerprint')!r}, expected {fingerprint!r}); "
             "delete it or change the path"
+        )
+    if meta is not None and dict(record.get("meta") or {}) != dict(meta):
+        raise JournalError(
+            f"journal {path} carries header metadata "
+            f"{record.get('meta')!r}, expected {meta!r} (e.g. a different "
+            "shard's journal at this path); delete it or change the path"
         )
 
 

@@ -597,8 +597,57 @@ class Epi4TensorSearch:
             requested = min(n_gpus, os.cpu_count() or 1)
         return max(1, min(requested, n_gpus))
 
+    def fingerprint(self, outer_iterations=None) -> str:
+        """Identity string guarding checkpoint/journal resume.
+
+        With ``outer_iterations`` (a restricted ``Wi`` sub-domain, e.g. one
+        shard of a distributed run) the fingerprint gains a domain clause
+        (see :func:`~repro.core.checkpoint.domain_clause`), so one shard's
+        resume files can never be mistaken for another's — or for a full
+        run's — even on the same dataset and configuration.
+        """
+        from repro.core.checkpoint import domain_clause, search_fingerprint
+
+        base = search_fingerprint(
+            self.scheme.n_snps,
+            self.scheme.n_real_snps,
+            self.encoded.n_controls,
+            self.encoded.n_cases,
+            self.config.block_size,
+            self.cluster.gpus[0].engine.name,
+            self._score_name,
+            self.config.top_k,
+            self.config.partition,
+            self.cluster.n_gpus,
+        )
+        if outer_iterations is not None:
+            base += domain_clause(self.scheme.nb, outer_iterations)
+        return base
+
+    def _validate_domain(self, outer_iterations) -> list[int]:
+        """Validate a restricted outer-iteration domain: ints within
+        ``[0, nb)``, non-empty, no duplicates.  Returns the domain as a
+        sorted list."""
+        domain = [int(wi) for wi in outer_iterations]
+        if not domain:
+            raise ValueError("outer_iterations must not be empty")
+        seen: set[int] = set()
+        for wi in domain:
+            if not 0 <= wi < self.scheme.nb:
+                raise ValueError(
+                    f"outer iteration {wi} outside [0, {self.scheme.nb})"
+                )
+            if wi in seen:
+                raise ValueError(f"outer iteration {wi} listed twice")
+            seen.add(wi)
+        return sorted(domain)
+
     def run(
-        self, progress_callback=None, checkpoint_path=None, journal_path=None
+        self,
+        progress_callback=None,
+        checkpoint_path=None,
+        journal_path=None,
+        outer_iterations=None,
     ) -> SearchResult:
         """Execute the full search and return the globally best quad.
 
@@ -620,25 +669,25 @@ class Epi4TensorSearch:
                 byte offset resumes exactly-once with a bit-identical
                 top-k.  Composable with ``checkpoint_path``; the union of
                 both completed sets is skipped on resume.
+            outer_iterations: optional restricted ``Wi`` domain — the
+                communication-free shard decomposition of §3.6/§4.4.  Only
+                the listed outer iterations are scheduled and executed; the
+                result's top-k is this shard's local reduction, to be
+                merged across shards by :mod:`repro.dist`.  The resume
+                fingerprint gains a domain clause so per-shard
+                checkpoint/journal files cannot cross-contaminate.
         """
-        from repro.core.checkpoint import SearchCheckpoint, search_fingerprint
+        from repro.core.checkpoint import SearchCheckpoint
         from repro.core.journal import RoundJournal
 
         self._progress_callback = progress_callback
         self._rounds_done = 0
         self._best_seen = Solution.worst()
-        fingerprint = search_fingerprint(
-            self.scheme.n_snps,
-            self.scheme.n_real_snps,
-            self.encoded.n_controls,
-            self.encoded.n_cases,
-            self.config.block_size,
-            self.cluster.gpus[0].engine.name,
-            self._score_name,
-            self.config.top_k,
-            self.config.partition,
-            self.cluster.n_gpus,
-        )
+        domain: list[int] | None = None
+        if outer_iterations is not None:
+            domain = self._validate_domain(outer_iterations)
+        self._outer_iterations = domain
+        fingerprint = self.fingerprint(domain)
         checkpoint: SearchCheckpoint | None = None
         if checkpoint_path is not None:
             checkpoint = SearchCheckpoint.load(checkpoint_path, fingerprint)
@@ -700,6 +749,11 @@ class Epi4TensorSearch:
                 done |= journal.completed
             if done:
                 self._best_seen = reducer.best
+            if domain is not None:
+                # Out-of-domain iterations are another shard's work: mark
+                # them done so every execution path (sequential, parallel,
+                # samples) skips them without further branching.
+                done |= set(range(self.scheme.nb)) - set(domain)
             executed: list[list[int]] = [[] for _ in self.cluster.gpus]
             commit_lock = threading.Lock()
 
@@ -1158,7 +1212,8 @@ class Epi4TensorSearch:
             )
             for wi in range(self.scheme.nb)
         ]
-        return self.cluster.schedule(costs)
+        domain = getattr(self, "_outer_iterations", None)
+        return self.cluster.schedule(costs, domain)
 
     def _prepare_devices(self) -> None:
         """Dataset transfer + low-order precomputation (indivPop/pairwPop).

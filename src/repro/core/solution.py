@@ -86,5 +86,21 @@ class Solution:
     def quad(self) -> tuple[int, int, int, int]:
         return unpack_quad(self.packed)
 
+    def to_pair(self) -> list:
+        """``[score, packed]`` — the canonical JSON wire form shared by
+        the checkpoint, the journal and the shard artifacts.
+
+        ``json.dumps`` serializes the float via ``repr`` (shortest
+        round-trip), so the pair survives a JSON round-trip bit-exactly —
+        the property every resume/merge bit-identity guarantee rests on.
+        """
+        return [self.score, self.packed]
+
+    @classmethod
+    def from_pair(cls, pair) -> "Solution":
+        """Inverse of :meth:`to_pair` (accepts any 2-sequence)."""
+        score, packed = pair
+        return cls(score=float(score), packed=int(packed))
+
     def __repr__(self) -> str:
         return f"Solution(quad={self.quad}, score={self.score:.6f})"

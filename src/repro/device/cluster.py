@@ -77,12 +77,21 @@ class ScheduleResult:
         )
 
 
-def schedule_dynamic(costs: list[float], n_devices: int) -> ScheduleResult:
+def schedule_dynamic(
+    costs: list[float],
+    n_devices: int,
+    iterations: list[int] | None = None,
+) -> ScheduleResult:
     """Replay OpenMP ``schedule(dynamic)`` over in-order iterations.
 
     Args:
-        costs: per-iteration cost, in issue order (``Wi = 0, 1, ...``).
+        costs: per-iteration cost, indexed by global iteration number
+            (``Wi = 0, 1, ...``).
         n_devices: number of GPUs.
+        iterations: optional restricted issue list (e.g. one shard's
+            sub-domain), in issue order.  The assignment then carries the
+            *global* iteration indices over just that sub-domain; ``None``
+            issues every iteration ``0..len(costs)-1`` in order.
 
     Returns:
         :class:`ScheduleResult`.
@@ -91,13 +100,25 @@ def schedule_dynamic(costs: list[float], n_devices: int) -> ScheduleResult:
         raise ValueError(f"n_devices must be >= 1, got {n_devices}")
     if any(c < 0 for c in costs):
         raise ValueError("iteration costs must be non-negative")
+    if iterations is None:
+        issue: list[int] = list(range(len(costs)))
+    else:
+        issue = [int(i) for i in iterations]
+        for index in issue:
+            if not 0 <= index < len(costs):
+                raise ValueError(
+                    f"iteration {index} outside cost table of "
+                    f"{len(costs)} entries"
+                )
+        if len(set(issue)) != len(issue):
+            raise ValueError("iterations contains duplicates")
     assignment: list[list[int]] = [[] for _ in range(n_devices)]
     loads = [0.0] * n_devices
-    for index, cost in enumerate(costs):
+    for index in issue:
         device = min(range(n_devices), key=lambda g: (loads[g], g))
         assignment[device].append(index)
-        loads[device] += cost
-    total = float(sum(costs))
+        loads[device] += costs[index]
+    total = float(sum(costs[i] for i in issue))
     return ScheduleResult(
         assignment=assignment,
         device_loads=loads,
@@ -163,9 +184,11 @@ class VirtualCluster:
         """Return every device to service (start of a fresh run)."""
         self.quarantined.clear()
 
-    def schedule(self, costs: list[float]) -> ScheduleResult:
+    def schedule(
+        self, costs: list[float], iterations: list[int] | None = None
+    ) -> ScheduleResult:
         """Dynamic-schedule the outer iterations across this cluster."""
-        return schedule_dynamic(costs, self.n_gpus)
+        return schedule_dynamic(costs, self.n_gpus, iterations)
 
     def export_metrics(self, registry) -> None:
         """Mirror every device's kernel counters (and quarantine state)

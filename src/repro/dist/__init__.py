@@ -1,0 +1,38 @@
+"""Sharded multi-process execution of a fourth-order search (§4.4).
+
+The paper's multi-GPU design is communication-free: the outermost ``Wi``
+block loop is divided across devices, each accumulates a local top-k,
+and a cheap host reduction merges them at the end.  This package lifts
+that decomposition one level — across **OS processes** (and, by running
+one worker per node manually, across nodes):
+
+- :mod:`repro.dist.plan` — partition the outer iterations into shards
+  with exact coverage/disjointness guarantees;
+- :mod:`repro.dist.worker` — execute one shard in one process (its own
+  :class:`~repro.core.search.Epi4TensorSearch` over a restricted
+  domain, a shard-qualified crash-safe journal, a shard artifact +
+  manifest + metrics snapshot);
+- :mod:`repro.dist.merge` — deterministically merge shard-local top-k
+  states, metrics and manifests (bit-identical to an unsharded run);
+- :mod:`repro.dist.coordinator` — launch the workers (spawn context),
+  restart and journal-resume any that die, then merge.
+"""
+
+from repro.dist.coordinator import run_sharded
+from repro.dist.merge import MergedRun, ShardMergeError, merge_shards, merge_topk
+from repro.dist.plan import ShardPlan, ShardSpec, plan_shards
+from repro.dist.worker import run_shard, shard_artifact_name, shard_journal_name
+
+__all__ = [
+    "MergedRun",
+    "ShardMergeError",
+    "ShardPlan",
+    "ShardSpec",
+    "merge_shards",
+    "merge_topk",
+    "plan_shards",
+    "run_shard",
+    "run_sharded",
+    "shard_artifact_name",
+    "shard_journal_name",
+]

@@ -1,0 +1,237 @@
+"""Shard planner: partition the outer ``Wi`` loop across processes.
+
+The unit of distribution is the same §3.6 unit the in-process dynamic
+schedule uses — one outer iteration.  A plan assigns every iteration in
+``[0, nb)`` to exactly one shard (coverage and disjointness are
+*verified*, not assumed, at construction), and carries each shard's
+closed-form work volume so measured-vs-modelled assertions hold per
+shard, not just per run.
+
+Two strategies:
+
+- ``"contiguous"`` — cost-balanced runs of consecutive iterations
+  (greedy: each shard takes iterations until it reaches the remaining
+  average).  Contiguous domains maximize the cross-iteration operand
+  reuse the cache exploits within one process.
+- ``"strided"`` — shard ``i`` takes ``wi ≡ i (mod n)``.  The
+  per-iteration volume decreases with ``wi``, so striding balances load
+  without cost modelling (the classic round-robin deal).
+
+Per-shard accounting reuses :class:`~repro.device.cluster.ScheduleResult`
+with shards in the device role: :meth:`ShardPlan.schedule` scores the
+plan's assignment against the closed-form iteration costs, so shard
+imbalance is reported with the same vocabulary (loads, makespan,
+speedup) as the in-process schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.device.cluster import ScheduleResult
+from repro.perfmodel.workload import (
+    outer_iteration_tensor_ops,
+    shard_tensor_ops,
+)
+
+STRATEGIES = ("contiguous", "strided")
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard's identity and workload.
+
+    Attributes:
+        index / count: this shard's position in the plan.
+        strategy: the planning strategy that produced it.
+        iterations: the outer iterations this shard executes (sorted).
+        tensor_ops: closed-form tensor-op volume of those iterations.
+        tensor4_ops: the cache-invariant 4-way component of that volume.
+    """
+
+    index: int
+    count: int
+    strategy: str
+    iterations: tuple[int, ...]
+    tensor_ops: int
+    tensor4_ops: int
+
+    def to_dict(self) -> dict:
+        """JSON-safe view (worker requests, shard artifacts)."""
+        return {
+            "index": self.index,
+            "count": self.count,
+            "strategy": self.strategy,
+            "iterations": list(self.iterations),
+            "tensor_ops": self.tensor_ops,
+            "tensor4_ops": self.tensor4_ops,
+        }
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A validated partition of ``[0, nb)`` into shards.
+
+    Construction re-verifies the partition property — every outer
+    iteration covered exactly once — so no caller can hold a plan that
+    would drop or double-score a quad.
+    """
+
+    nb: int
+    block_size: int
+    n_samples: int
+    strategy: str
+    shards: tuple[ShardSpec, ...]
+
+    def __post_init__(self) -> None:
+        seen: set[int] = set()
+        for shard in self.shards:
+            if not shard.iterations:
+                raise ValueError(f"shard {shard.index} is empty")
+            for wi in shard.iterations:
+                if not 0 <= wi < self.nb:
+                    raise ValueError(
+                        f"shard {shard.index}: iteration {wi} outside "
+                        f"[0, {self.nb})"
+                    )
+                if wi in seen:
+                    raise ValueError(
+                        f"shard {shard.index}: iteration {wi} assigned twice"
+                    )
+                seen.add(wi)
+        if len(seen) != self.nb:
+            missing = sorted(set(range(self.nb)) - seen)
+            raise ValueError(
+                f"plan does not cover every outer iteration; missing {missing}"
+            )
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def total_tensor_ops(self) -> int:
+        return sum(s.tensor_ops for s in self.shards)
+
+    def shard(self, index: int) -> ShardSpec:
+        if not 0 <= index < len(self.shards):
+            raise ValueError(
+                f"shard index {index} outside plan of {len(self.shards)}"
+            )
+        return self.shards[index]
+
+    def schedule(self) -> ScheduleResult:
+        """Score the plan with shards in the device role (loads,
+        makespan, speedup — the standard accounting vocabulary)."""
+        costs = [
+            float(
+                outer_iteration_tensor_ops(
+                    wi, self.nb, self.block_size, self.n_samples
+                )
+            )
+            for wi in range(self.nb)
+        ]
+        return ScheduleResult.from_executed(
+            [list(s.iterations) for s in self.shards], costs
+        )
+
+
+def plan_shards(
+    nb: int,
+    n_shards: int,
+    *,
+    block_size: int,
+    n_samples: int,
+    strategy: str = "contiguous",
+) -> ShardPlan:
+    """Partition ``nb`` outer iterations into ``n_shards`` shards.
+
+    Args:
+        nb: number of SNP blocks (= outer iterations).
+        n_shards: shard count; must be in ``[1, nb]`` (an empty shard
+            would be a worker with nothing to do — refuse up front).
+        block_size / n_samples: workload-model parameters for the
+            per-shard cost closed forms.
+        strategy: ``"contiguous"`` (cost-balanced runs) or ``"strided"``.
+
+    Returns:
+        A validated :class:`ShardPlan`.
+    """
+    if nb < 1:
+        raise ValueError(f"nb must be >= 1, got {nb}")
+    if not 1 <= n_shards <= nb:
+        raise ValueError(
+            f"n_shards must be in [1, {nb}] (one non-empty shard per "
+            f"worker), got {n_shards}"
+        )
+    if strategy not in STRATEGIES:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
+        )
+    if strategy == "strided":
+        parts = [
+            [wi for wi in range(nb) if wi % n_shards == s]
+            for s in range(n_shards)
+        ]
+    else:
+        costs = [
+            float(outer_iteration_tensor_ops(wi, nb, block_size, n_samples))
+            for wi in range(nb)
+        ]
+        parts = _balance_contiguous(costs, n_shards)
+    shards = []
+    for index, iterations in enumerate(parts):
+        volume = shard_tensor_ops(iterations, nb, block_size, n_samples)
+        shards.append(
+            ShardSpec(
+                index=index,
+                count=n_shards,
+                strategy=strategy,
+                iterations=tuple(iterations),
+                tensor_ops=volume["tensor_ops"],
+                tensor4_ops=volume["tensor4_ops"],
+            )
+        )
+    return ShardPlan(
+        nb=nb,
+        block_size=block_size,
+        n_samples=n_samples,
+        strategy=strategy,
+        shards=tuple(shards),
+    )
+
+
+def _balance_contiguous(costs: list[float], n_shards: int) -> list[list[int]]:
+    """Greedy cost-balanced contiguous partition.
+
+    Each shard takes consecutive iterations until its load reaches the
+    average of what remains over the shards still to fill — while always
+    leaving at least one iteration per remaining shard, so every shard
+    is non-empty by construction.
+    """
+    nb = len(costs)
+    parts: list[list[int]] = []
+    start = 0
+    for s in range(n_shards):
+        remaining_shards = n_shards - s
+        if remaining_shards == 1:
+            parts.append(list(range(start, nb)))
+            break
+        remaining_cost = sum(costs[start:])
+        target = remaining_cost / remaining_shards
+        end = start
+        load = 0.0
+        # Stop once adding the next iteration would overshoot the target
+        # *further* than stopping short of it undershoots — but never eat
+        # into the one-iteration-per-shard reserve of the tail.
+        max_end = nb - (remaining_shards - 1)
+        while end < max_end:
+            step = costs[end]
+            if load > 0 and abs(load + step - target) > abs(load - target):
+                break
+            load += step
+            end += 1
+        end = max(end, start + 1)
+        parts.append(list(range(start, end)))
+        start = end
+    return parts

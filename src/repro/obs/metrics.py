@@ -35,7 +35,15 @@ name                                           type       labels
 ``epi4_resilience_incidents_total``            counter    ``action``
 ``epi4_device_quarantined``                    gauge      ``device``
 ``epi4_wall_seconds`` / ``epi4_quads_per_second_scaled``  gauge  —
+``epi4_shard_index`` / ``epi4_shard_count``    gauge      — (shard workers only)
+``epi4_shard_iterations_total``                counter    — (shard workers only)
 =============================================  =========  =======================
+
+The ``epi4_shard_*`` series appear only in shard-worker runs
+(:mod:`repro.dist`), never in plain single-process runs — golden
+fixtures of the plain metric set stay byte-stable.
+:func:`merge_shard_snapshots` aggregates per-shard snapshots into one
+registry (counters sum, so conservation laws survive the merge).
 
 Invariants the property suite (``tests/test_properties.py``) locks in:
 ``hits + misses == lookups`` and
@@ -59,6 +67,7 @@ from typing import Any, Iterable, Mapping
 __all__ = [
     "MetricsRegistry",
     "HistogramValue",
+    "merge_shard_snapshots",
     "normalized_snapshot",
     "DEFAULT_BUCKETS",
 ]
@@ -347,3 +356,79 @@ def _strip_device(label_str: str) -> str:
         if part and not part.startswith('device="')
     ]
     return "{" + ",".join(kept) + "}" if kept else ""
+
+
+def _parse_label_str(label_str: str) -> dict[str, str]:
+    """Inverse of :func:`_label_str` (labels never contain quotes or
+    commas — they are device ids, phase names, kernel names)."""
+    if not label_str:
+        return {}
+    out: dict[str, str] = {}
+    for part in label_str.strip("{}").split(","):
+        name, _, value = part.partition("=")
+        out[name] = value.strip('"')
+    return out
+
+
+#: Per-shard identity gauges that must not survive a cross-shard merge
+#: (a merged registry has no single shard index).
+_SHARD_IDENTITY_GAUGES = frozenset({"epi4_shard_index"})
+
+
+def merge_shard_snapshots(snapshots: "Iterable[dict]") -> MetricsRegistry:
+    """Aggregate per-shard :meth:`MetricsRegistry.snapshot` dicts into
+    one registry — the metrics side of the deterministic shard merge.
+
+    Aggregation rules, by series type:
+
+    - **counters** sum (they are extensive: operand requests, tensor
+      ops, commits...).  Every conservation law that held per shard —
+      e.g. ``requests == executed + cache_served`` per operand kind —
+      therefore still holds on the merged registry.
+    - **gauges** sum when the name ends in ``_total`` (totals exported
+      through gauges, e.g. the journal counters) and otherwise take the
+      max over shards (levels: wall seconds of concurrently running
+      shards, cache peaks).  ``epi4_shard_index`` is dropped — a merged
+      run has no single index.
+    - **histograms** merge bucket-wise; differing bucket layouts for the
+      same series are refused.
+    """
+    merged = MetricsRegistry()
+    for snap in snapshots:
+        for name, series in snap.get("counters", {}).items():
+            for label_str, value in series.items():
+                merged.inc(name, float(value), **_parse_label_str(label_str))
+        for name, series in snap.get("gauges", {}).items():
+            if name in _SHARD_IDENTITY_GAUGES:
+                continue
+            for label_str, value in series.items():
+                labels = _parse_label_str(label_str)
+                if name.endswith("_total"):
+                    current = merged._gauges.get(name, {}).get(
+                        _label_key(labels), 0.0
+                    )
+                    merged.set_gauge(name, current + float(value), **labels)
+                else:
+                    current = merged._gauges.get(name, {}).get(
+                        _label_key(labels)
+                    )
+                    if current is None or float(value) > current:
+                        merged.set_gauge(name, float(value), **labels)
+        for name, series in snap.get("histograms", {}).items():
+            for label_str, data in series.items():
+                key = _label_key(_parse_label_str(label_str))
+                buckets = tuple(float(b) for b in data["buckets"])
+                hist = merged._hists.setdefault(name, {}).get(key)
+                if hist is None:
+                    hist = _Histogram(buckets)
+                    merged._hists[name][key] = hist
+                elif hist.buckets != buckets:
+                    raise ValueError(
+                        f"histogram {name}{label_str} has mismatched bucket "
+                        "layouts across shards"
+                    )
+                for i, count in enumerate(data["counts"]):
+                    hist.counts[i] += int(count)
+                hist.total += int(data["count"])
+                hist.sum += float(data["sum"])
+    return merged

@@ -18,6 +18,10 @@ and the recording thread.  The search driver emits the taxonomy
     │           └── reduce                     (per-round top-k insert)
     └── reduce                                 (final cross-device reduction)
 
+Sharded workers (``repro.dist``) wrap the whole taxonomy in one extra
+root: ``shard[index,count]`` encloses ``run`` so a shard's trace is
+attributable to its position in the plan.
+
 Every span gets a deterministic **path**: the parent path joined with the
 span's label (name plus identity tags) and a per-parent occurrence index,
 e.g. ``run#0/device[0]#0/outer[2]#0/round[2,2,3,3]#0/combine#1``.  Paths
@@ -54,7 +58,7 @@ __all__ = [
 
 #: Tag keys that become part of a span's identity label (and therefore its
 #: canonical path).  Everything else is carried as metadata only.
-_IDENTITY_TAGS = ("device", "wi", "xi", "yi", "zi", "quad")
+_IDENTITY_TAGS = ("device", "wi", "xi", "yi", "zi", "quad", "index", "count")
 
 
 @dataclass(frozen=True)

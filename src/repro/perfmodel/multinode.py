@@ -57,6 +57,30 @@ class MultiNodePrediction:
         return self.n_nodes * self.gpus_per_node
 
 
+def predict_shard_schedule(
+    iterations: "list[int]",
+    nb: int,
+    block_size: int,
+    n_samples: int,
+    n_gpus: int,
+) -> ScheduleResult:
+    """Predict the dynamic schedule one shard's worker will realize.
+
+    The distributed layer (:mod:`repro.dist`) hands each worker process a
+    restricted outer-iteration domain; inside the process the standard
+    §3.6 dynamic schedule balances that domain across the worker's GPUs.
+    Replaying the same greedy assignment over the closed-form iteration
+    weights predicts it exactly — ``bench_multinode`` asserts the measured
+    per-shard ``ScheduleResult`` (total cost, and for the sequential path
+    the full assignment) against this prediction.
+    """
+    costs = [
+        float(outer_iteration_tensor_ops(wi, nb, block_size, n_samples))
+        for wi in range(nb)
+    ]
+    return schedule_dynamic(costs, n_gpus, list(iterations))
+
+
 def predict_multi_node(
     n_nodes: int,
     gpus_per_node: int,

@@ -188,6 +188,50 @@ def outer_iteration_tensor_ops(
     return ops
 
 
+def outer_iteration_tensor4_ops(
+    wi: int, nb: int, block_size: int, n_samples: int
+) -> int:
+    """4-way GEMM volume of outer iteration ``Wi = wi``.
+
+    Unlike the full :func:`outer_iteration_tensor_ops` weight, this term
+    is **cache-invariant**: round work is per-quad unique, so the operand
+    cache cannot elide any of it.  The distributed layer uses it to
+    assert measured-vs-modelled shard volumes even for cache-enabled
+    configurations, where 3-way sweep volume depends on cross-iteration
+    hit patterns.
+    """
+    if not 0 <= wi < nb:
+        raise ValueError(f"wi must be in [0, {nb}), got {wi}")
+    b = block_size
+    ops = 0
+    for xi in range(wi, nb):
+        for yi in range(xi, nb):
+            ops += (nb - yi) * 2 * (4 * b * b) * (4 * b * b) * n_samples
+    return ops
+
+
+def shard_tensor_ops(
+    iterations: "list[int] | tuple[int, ...]",
+    nb: int,
+    block_size: int,
+    n_samples: int,
+) -> dict[str, int]:
+    """Closed-form work volume of one shard (a set of outer iterations).
+
+    Returns ``{"tensor_ops": ..., "tensor4_ops": ...}`` — the full
+    scheduling weight and its cache-invariant 4-way component, summed over
+    the shard's iterations.  With the operand cache off, a shard's executed
+    raw tensor-op counters equal ``tensor_ops`` exactly; with the cache on,
+    only ``tensor4_ops`` is guaranteed (sweep volume depends on hits).
+    """
+    total = 0
+    tensor4 = 0
+    for wi in iterations:
+        total += outer_iteration_tensor_ops(wi, nb, block_size, n_samples)
+        tensor4 += outer_iteration_tensor4_ops(wi, nb, block_size, n_samples)
+    return {"tensor_ops": total, "tensor4_ops": tensor4}
+
+
 def search_workload(
     n_snps: int,
     n_samples: int,

@@ -274,3 +274,76 @@ def format_search_report(
             )
         add("")
     return "\n".join(lines)
+
+
+def format_merged_report(merged) -> str:
+    """Render a :class:`~repro.dist.merge.MergedRun` as a text report.
+
+    Deterministic: derived only from shard identity, domains and merged
+    results — two runs of the same plan produce identical reports.
+    """
+    lines: list[str] = []
+    add = lines.append
+
+    add(_rule("="))
+    add("Epi4Tensor sharded search report")
+    add(_rule("="))
+    identity = merged.shards[0]["identity"]
+    add(
+        f"dataset      : M={identity['n_real_snps']} SNPs "
+        f"(padded to {identity['n_snps']}), "
+        f"{identity['n_controls']} controls / {identity['n_cases']} cases"
+    )
+    add(
+        f"shards       : {merged.n_shards} x {identity['n_gpus']} device(s) "
+        f"[{identity['engine']}], strategy "
+        f"{merged.shards[0]['shard'].get('strategy', 'unknown')}"
+    )
+    add(
+        f"domain       : {merged.nb} outer iterations, "
+        f"B={identity['block_size']}, score {identity['score']}"
+    )
+    add("")
+
+    add("merged ranked solutions (bit-identical to the unsharded run)")
+    add(_rule())
+    for rank, sol in enumerate(merged.solutions, start=1):
+        add(f"  #{rank:<3d} {sol.quad}   score {sol.score:.6f}")
+    add(f"  top_k_sha256 : {merged.top_k_sha256}")
+    add("")
+
+    add("shard domains and work")
+    add(_rule())
+    total_ops = sum(
+        a.get("model", {}).get("tensor_ops", 0) for a in merged.shards
+    )
+    for artifact in merged.shards:
+        shard = artifact["shard"]
+        ops = artifact.get("model", {}).get("tensor_ops", 0)
+        share = 100.0 * ops / total_ops if total_ops else 0.0
+        replayed = artifact.get("replayed_iterations", 0)
+        resumed = f", {replayed} replayed" if replayed else ""
+        add(
+            f"  shard {shard['index']:<3d} W={list(shard['iterations'])}  "
+            f"{ops:.3e} tensor ops ({share:5.1f}%)"
+            f"  [{artifact['executed_iterations']} executed{resumed}]"
+        )
+    add("")
+
+    m = merged.metrics
+    requests = m.total("epi4_operand_requests_total")
+    if requests:
+        executed = m.total("epi4_operand_executed_total")
+        served = m.total("epi4_operand_cache_served_total")
+        add("merged observability (counters summed across shards)")
+        add(_rule())
+        add(
+            f"  operand requests    : {int(requests)} = "
+            f"{int(executed)} executed + {int(served)} cache-served"
+        )
+        add(
+            f"  shard iterations    : "
+            f"{int(m.total('epi4_shard_iterations_total'))}"
+        )
+        add("")
+    return "\n".join(lines)

@@ -172,3 +172,86 @@ class TestSigkillHarness:
 
 
 _SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+
+
+class TestShardedChaos:
+    """SIGKILL a real shard worker mid-commit; the coordinator must
+    respawn it, the respawned worker must journal-resume (re-executing
+    exactly the uncommitted iterations), and the merged result must stay
+    bit-identical to the unsharded run.  Drives genuine ``spawn``
+    processes through :func:`repro.dist.run_sharded` with the
+    ``EPI4TENSOR_DIST_KILL`` hook armed in the worker environment."""
+
+    def test_sigkilled_worker_is_respawned_and_merge_is_bit_identical(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.dist import run_sharded
+        from repro.obs.manifest import solutions_digest
+
+        ds = _dataset()
+        reference = Epi4TensorSearch(ds, _config()).run()
+        # Shard 1 of a 2-shard contiguous plan holds several iterations
+        # (nb=5); kill its first worker mid-commit after one durable
+        # commit, so the respawn must both replay and re-execute.
+        monkeypatch.setenv("EPI4TENSOR_DIST_KILL", "1:1")
+        merged = run_sharded(
+            ds,
+            _config(),
+            n_shards=2,
+            out_dir=tmp_path,
+            max_restarts=2,
+        )
+        assert merged.top_k_sha256 == solutions_digest(
+            reference.top_solutions
+        )
+        # The chaos hook fired exactly once (durable marker present)...
+        assert (tmp_path / "shard-1.killed").exists()
+        # ...and the respawned worker actually resumed through the
+        # journal rather than restarting from scratch.
+        shard1 = merged.shards[1]
+        assert shard1["replayed_iterations"] >= 1
+        assert (
+            shard1["replayed_iterations"] + shard1["executed_iterations"]
+            == len(shard1["shard"]["iterations"])
+        )
+        # The undisturbed shard ran clean.
+        assert merged.shards[0]["replayed_iterations"] == 0
+
+    def test_restart_budget_exhaustion_raises(self, tmp_path, monkeypatch):
+        from repro.dist import run_sharded
+        from repro.dist.coordinator import ShardWorkerError
+        from repro.dist.worker import CHAOS_KILL_ENV
+
+        ds = _dataset()
+        monkeypatch.setenv(CHAOS_KILL_ENV, "0:0")
+        # Remove the fired-once marker before each respawn so every
+        # incarnation of shard 0 dies, exhausting the budget.
+        import repro.dist.coordinator as coord
+
+        original = coord._drive_workers
+
+        def relentless(requests, out_dir, max_procs, max_restarts):
+            import glob as _glob
+            import threading
+            import time
+
+            def reaper():
+                for _ in range(400):
+                    for marker in _glob.glob(
+                        os.path.join(out_dir, "*.killed")
+                    ):
+                        try:
+                            os.remove(marker)
+                        except OSError:
+                            pass
+                    time.sleep(0.05)
+
+            thread = threading.Thread(target=reaper, daemon=True)
+            thread.start()
+            return original(requests, out_dir, max_procs, max_restarts)
+
+        monkeypatch.setattr(coord, "_drive_workers", relentless)
+        with pytest.raises(ShardWorkerError, match="shard 0.*budget"):
+            run_sharded(
+                ds, _config(), n_shards=2, out_dir=tmp_path, max_restarts=1
+            )

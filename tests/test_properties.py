@@ -462,3 +462,158 @@ class TestResilienceConservation:
 
         steps = [i.op for i in fl.incidents if i.action == "degrade"]
         assert steps == list(LADDER[:n_ooms])
+
+
+class TestShardPlanPartition:
+    """The shard planner's partition property, fuzzed over its whole
+    input space: every outer iteration in ``[0, nb)`` lands in exactly
+    one shard, under both strategies, for every legal shard count."""
+
+    @given(
+        nb=st.integers(1, 40),
+        data=st.data(),
+        strategy=st.sampled_from(["contiguous", "strided"]),
+    )
+    @settings(deadline=None)
+    def test_plan_covers_every_iteration_exactly_once(
+        self, nb, data, strategy
+    ):
+        from repro.dist import plan_shards
+
+        n_shards = data.draw(st.integers(1, nb), label="n_shards")
+        plan = plan_shards(
+            nb, n_shards, block_size=4, n_samples=64, strategy=strategy
+        )
+        counts: dict[int, int] = {}
+        for shard in plan.shards:
+            assert shard.iterations, "planner produced an empty shard"
+            assert shard.count == n_shards
+            for wi in shard.iterations:
+                counts[wi] = counts.get(wi, 0) + 1
+        assert counts == {wi: 1 for wi in range(nb)}
+        # Per-shard closed-form volumes sum to the whole search's.
+        from repro.perfmodel.workload import outer_iteration_tensor_ops
+
+        total = sum(
+            outer_iteration_tensor_ops(wi, nb, 4, 64) for wi in range(nb)
+        )
+        assert plan.total_tensor_ops == total
+
+    @given(
+        nb=st.integers(2, 30),
+        bad=st.sampled_from(["zero", "too_many"]),
+    )
+    @settings(deadline=None)
+    def test_degenerate_shard_counts_refused(self, nb, bad):
+        from repro.dist import plan_shards
+
+        n_shards = 0 if bad == "zero" else nb + 1
+        with pytest.raises(ValueError, match="n_shards"):
+            plan_shards(nb, n_shards, block_size=4, n_samples=64)
+
+
+@st.composite
+def solution_lists(draw, max_lists: int = 4, max_len: int = 6):
+    """Shard-local top-k lists: scores with duplicates and full double
+    precision, packed ids that may collide across lists (the same quad
+    surviving two shard-local top-ks after a merge of merges)."""
+    from repro.core.solution import Solution
+
+    n_lists = draw(st.integers(1, max_lists))
+    return [
+        [
+            Solution(
+                score=draw(
+                    st.floats(
+                        min_value=0.0,
+                        max_value=1e6,
+                        allow_nan=False,
+                        allow_infinity=False,
+                    )
+                ),
+                packed=draw(st.integers(0, 30)),
+            )
+            for _ in range(draw(st.integers(0, max_len)))
+        ]
+        for _ in range(n_lists)
+    ]
+
+
+class TestMergeAlgebra:
+    """merge_topk is a commutative, associative, idempotent reduction —
+    the algebraic facts that make the cross-shard merge deterministic
+    regardless of shard count, completion order, or retry double-merges."""
+
+    @given(lists=solution_lists(), k=st.integers(1, 8), seed=st.integers(0, 99))
+    @settings(deadline=None)
+    def test_commutative(self, lists, k, seed):
+        import random
+
+        from repro.dist import merge_topk
+
+        shuffled = list(lists)
+        random.Random(seed).shuffle(shuffled)
+        assert merge_topk(k, *shuffled) == merge_topk(k, *lists)
+
+    @given(lists=solution_lists(max_lists=5), k=st.integers(1, 8))
+    @settings(deadline=None)
+    def test_associative(self, lists, k):
+        from repro.dist import merge_topk
+
+        while len(lists) < 3:
+            lists.append([])
+        left = merge_topk(k, merge_topk(k, lists[0], lists[1]), *lists[2:])
+        right = merge_topk(k, lists[0], merge_topk(k, *lists[1:]))
+        assert left == right == merge_topk(k, *lists)
+
+    @given(lists=solution_lists(), k=st.integers(1, 8))
+    @settings(deadline=None)
+    def test_idempotent(self, lists, k):
+        from repro.dist import merge_topk
+
+        once = merge_topk(k, *lists)
+        assert merge_topk(k, once, *lists) == once
+        assert merge_topk(k, once, once) == once
+
+
+class TestShardMetricsConservation:
+    """Counter merging preserves conservation laws: if every shard's
+    snapshot satisfies ``requests == executed + cache_served``, so does
+    the cross-shard sum — and totals equal the sum of shard totals."""
+
+    @given(
+        shards=st.lists(
+            st.tuples(
+                st.integers(0, 1000),  # executed
+                st.integers(0, 1000),  # cache_served
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(deadline=None)
+    def test_operand_conservation_survives_merge(self, shards):
+        from repro.obs.metrics import merge_shard_snapshots
+
+        snapshots = []
+        for index, (executed, served) in enumerate(shards):
+            registry = MetricsRegistry()
+            registry.inc(
+                "epi4_operand_requests_total", executed + served, kind="full3"
+            )
+            registry.inc(
+                "epi4_operand_executed_total", executed, kind="full3"
+            )
+            registry.inc(
+                "epi4_operand_cache_served_total", served, kind="full3"
+            )
+            registry.set_gauge("epi4_shard_index", float(index))
+            snapshots.append(registry.snapshot())
+        merged = merge_shard_snapshots(snapshots)
+        requests = merged.total("epi4_operand_requests_total")
+        executed = merged.total("epi4_operand_executed_total")
+        served = merged.total("epi4_operand_cache_served_total")
+        assert requests == executed + served
+        assert requests == sum(e + s for e, s in shards)
+        # Per-shard identity gauges must not survive the merge.
+        assert "epi4_shard_index" not in merged.names()

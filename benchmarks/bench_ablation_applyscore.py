@@ -55,7 +55,10 @@ CELLS = [
 
 
 def _run(ds, extra):
-    config = SearchConfig(block_size=BLOCK, top_k=5, **extra)
+    # prune=False: this ablation's closed-form cell/compaction asserts
+    # require the full compacted volume to execute (the bound gate has
+    # its own ablation, bench_ablation_pruning.py).
+    config = SearchConfig(block_size=BLOCK, top_k=5, prune=False, **extra)
     search = Epi4TensorSearch(ds, config)
     start = time.perf_counter()
     result = search.run()

@@ -57,8 +57,10 @@ CELLS = [
 
 
 def _run(ds, extra):
+    # prune=False: the closed-form launch counts assume eager sweep
+    # staging; the bound gate stages sweeps lazily for survivors only.
     config = SearchConfig(
-        block_size=BLOCK, top_k=5, cache_mb=float("inf"), **extra
+        block_size=BLOCK, top_k=5, cache_mb=float("inf"), prune=False, **extra
     )
     search = Epi4TensorSearch(ds, config)
     start = time.perf_counter()

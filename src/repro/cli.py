@@ -144,6 +144,21 @@ def _add_search(sub: argparse._SubParsersAction) -> None:
         "default: quarantine is permanent)",
     )
     p.add_argument(
+        "--prune", default="on", choices=("on", "off"),
+        help="admissible K2 branch-and-bound gate: skip completing and "
+        "scoring quads (and whole rounds) whose corner-count lower bound "
+        "provably cannot beat the current top-k threshold — results are "
+        "bit-identical, only the executed score cells shrink "
+        "(default: on; K2 fused path only)",
+    )
+    p.add_argument(
+        "--prune-sync-rounds", type=int, default=None, metavar="R",
+        help="with --shards: exchange prune thresholds across shards "
+        "through atomic files in the shared directory every R completed "
+        "rounds, so late shards inherit tight bounds (default: off; "
+        "result-neutral either way)",
+    )
+    p.add_argument(
         "--journal", default=None, metavar="PATH",
         help="crash-safe round journal: one fsynced CRC frame per "
         "committed outer iteration; a process killed at any byte offset "
@@ -299,6 +314,8 @@ def _search_config_from_args(args: argparse.Namespace):
         deadline_ms=args.deadline_ms,
         pressure=args.pressure == "on",
         probation_rounds=args.probation_rounds,
+        prune=args.prune == "on",
+        prune_sync_rounds=args.prune_sync_rounds,
         **config_kwargs,
     )
 
@@ -503,6 +520,20 @@ def _cmd_search(args: argparse.Namespace) -> int:
             ratio = result.metrics.value("epi4_applyscore_compaction_ratio")
             print(f"applyScore: {100 * ratio:.1f}% of grid cells completed "
                   "(mask-first compaction)")
+        pruned = result.metrics.total("epi4_prune_quads_total")
+        if pruned:
+            survivors = result.metrics.total("epi4_applyscore_valid_total")
+            elided = result.metrics.total("epi4_prune_rounds_total")
+            frac = pruned / max(1.0, pruned + survivors)
+            line = (f"pruning   : {pruned:.0f} quads ({100 * frac:.1f}% of "
+                    f"mask-valid) bound-pruned before completion")
+            if elided:
+                line += f", {elided:.0f} whole rounds elided"
+            print(line)
+            synced = result.metrics.total("epi4_prune_sync_total")
+            if synced:
+                print(f"prunesync : {synced:.0f} cross-shard threshold "
+                      f"exchange(s) every {config.prune_sync_rounds} rounds")
         if config.batch_rounds > 1 or config.n_streams > 1:
             launches = result.counters.launches
             problems = result.counters.gemm_problems

@@ -28,6 +28,16 @@ Two implementations are provided:
     roles (diagonal rounds share block triples between roles) are deduped
     locally before the provider is consulted.
 
+    **Bound-first branch-and-bound gate**: when a
+    :class:`~repro.scoring.bounds.K2BoundKernel` and a top-k threshold
+    callable are supplied, every mask-valid position's admissible K2
+    lower bound is evaluated from the already-materialized corner counts
+    *before* completion, and positions that provably cannot beat the
+    current ``TopKReducer.kth_score()`` are dropped — no third-order
+    gathers, no 81-cell completion, no staged-lgamma work.  Pruned
+    positions surface as ``+inf`` exactly like masked ones, so the final
+    top-k stays bit-identical to the exhaustive run.
+
     **Staged-lgamma scoring**: when a
     :class:`~repro.scoring.k2.StagedK2Kernel` is supplied, scores are
     gathered directly from pre-shifted lgamma views on the int64 count
@@ -99,12 +109,17 @@ class RoundScoreStats:
 
     Attributes:
         positions: grid size ``B^4``.
-        valid: positions surviving the validity mask (scored positions).
+        valid: mask-valid positions that survived the bound gate and were
+            completed + scored (without pruning this equals the mask-valid
+            count; the conservation law is ``mask_valid == valid + pruned``).
         chunks: compacted chunks processed.
         full3_requests: unique ``(class, block-triple)`` completed-table
             requests this round (duplicate roles deduped locally first).
         full3_computed: requests that executed a third-order completion.
         full3_cache_hits: requests served by the provider's cache.
+        pruned: mask-valid positions dropped by the admissible-bound gate
+            before completion (their lower bound exceeded the top-k
+            threshold, so they provably cannot enter the final top-k).
     """
 
     positions: int
@@ -113,6 +128,7 @@ class RoundScoreStats:
     full3_requests: int
     full3_computed: int
     full3_cache_hits: int
+    pruned: int = 0
 
     @property
     def compaction_ratio(self) -> float:
@@ -224,6 +240,8 @@ def score_round(
     max_chunk_cells: int = DEFAULT_MAX_CHUNK_CELLS,
     staged_kernel=None,
     full3_provider: Full3Provider | None = None,
+    bound_kernel=None,
+    prune_threshold=None,
 ) -> tuple[np.ndarray, RoundScoreStats]:
     """Fused mask-first scoring of one round (see module docstring).
 
@@ -241,6 +259,16 @@ def score_round(
             K2 ``score_min_fn`` but skips the index-arithmetic temporaries.
         full3_provider: optional cross-round completed-triplet cache hook
             (see :data:`Full3Provider`).
+        bound_kernel: optional
+            :class:`~repro.scoring.bounds.K2BoundKernel`; enables the
+            branch-and-bound gate between mask compaction and completion.
+        prune_threshold: zero-argument callable returning the current
+            top-k threshold (``TopKReducer.kth_score``-style: ``+inf``
+            disables).  Mask-valid positions whose admissible lower bound
+            exceeds it are dropped before any third-order gather or
+            staged-lgamma work; pruned positions stay ``+inf`` in the
+            returned grid, exactly like masked ones, so the reduction is
+            oblivious to pruning.
 
     Returns:
         ``(scores, stats)`` — the ``(B, B, B, B)`` float64 grid with
@@ -257,6 +285,36 @@ def score_round(
             positions=b**4, valid=0, chunks=0,
             full3_requests=0, full3_computed=0, full3_cache_hits=0,
         )
+
+    n_pruned = 0
+    if bound_kernel is not None and prune_threshold is not None:
+        from repro.scoring.bounds import PRUNE_SLACK
+
+        threshold = float(prune_threshold())
+        if np.isfinite(threshold):
+            bounds = bound_kernel.quad_bounds(
+                operands, w_pos, x_pos, y_pos, z_pos
+            )
+            if bounds is not None:
+                # Strictly-above-threshold only (plus FP slack): ties are
+                # kept, so the admissible bound can never drop a quad the
+                # exhaustive reduction would have ranked.
+                keep = bounds <= threshold + PRUNE_SLACK
+                n_pruned = n_valid - int(keep.sum())
+                if n_pruned:
+                    w_pos = w_pos[keep]
+                    x_pos = x_pos[keep]
+                    y_pos = y_pos[keep]
+                    z_pos = z_pos[keep]
+                    n_valid = int(w_pos.size)
+                    mask = np.zeros_like(mask)
+                    mask[w_pos, x_pos, y_pos, z_pos] = True
+                if n_valid == 0:
+                    return scores, RoundScoreStats(
+                        positions=b**4, valid=0, chunks=0,
+                        full3_requests=0, full3_computed=0,
+                        full3_cache_hits=0, pruned=n_pruned,
+                    )
 
     full3, requests, computed, hits = _full3_tables(
         operands, pairs, full3_provider
@@ -300,6 +358,7 @@ def score_round(
         full3_requests=requests,
         full3_computed=computed,
         full3_cache_hits=hits,
+        pruned=n_pruned,
     )
 
 

@@ -156,6 +156,23 @@ class TopKReducer:
                 unique.append(sol)
         self._solutions = unique[: self.k]
 
+    def kth_score(self) -> float:
+        """Current ``k``-th best score, or ``+inf`` while under-filled.
+
+        The branch-and-bound prune threshold: a candidate whose score
+        provably exceeds this value cannot enter the final top-k.  Safe
+        at any point during the search — the reducer's candidate set only
+        grows, so the k-th best of any intermediate subset is ``>=`` the
+        final k-th best, and pruning strictly above it can never drop a
+        final top-k member.  ``+inf`` (fewer than ``k`` candidates held)
+        disables pruning entirely.  Thread-safe like every accessor.
+        """
+        with self._lock:
+            self._truncate()
+            if len(self._solutions) < self.k:
+                return float("inf")
+            return self._solutions[self.k - 1].score
+
     def result(self) -> list[Solution]:
         """The final ranked list (best first), length <= k."""
         with self._lock:

@@ -62,6 +62,7 @@ from repro.core.apply_score import (
     DEFAULT_MAX_CHUNK_CELLS,
     RoundOperands,
     apply_score_dense,
+    round_validity_mask,
     score_round,
 )
 from repro.core.autotune import AutotuneDecision, autotune_applyscore
@@ -106,6 +107,7 @@ from repro.perfmodel.workload import outer_iteration_tensor_ops
 from repro.scoring import make_score
 from repro.tensor.and_popc import dense_acc_dtype
 from repro.scoring.base import ScoreFunction, normalized_for_minimization
+from repro.scoring.bounds import PRUNE_SLACK, K2BoundKernel
 from repro.scoring.k2 import K2Score
 from repro.scoring.lgamma_table import LgammaTable
 from repro.utils.timing import Timer
@@ -215,6 +217,23 @@ class SearchConfig:
             ``None`` (the default) keeps quarantine permanent for the
             run.  Only the thread-parallel executor parks and readmits
             workers; the sequential replay ignores probation.
+        prune: enable the admissible branch-and-bound gate (see
+            :mod:`repro.scoring.bounds`): quads — and, in the pipelined
+            loop, whole rounds — whose K2 lower bound exceeds the current
+            top-k threshold are dropped before completion and scoring.
+            The bound never overestimates and ties are never pruned, so
+            results stay **bit-identical** to the exhaustive run; only
+            the executed score-cell accounting shrinks.  Effective only
+            on the fused K2 scoring path (other score functions have no
+            admissible corner bound and run exhaustively regardless).
+        prune_sync_rounds: with an attached
+            :class:`~repro.dist.threshold.ThresholdExchange`, publish
+            this shard's top-k and refresh the peer-shard threshold
+            every this many completed rounds, so late shards inherit
+            tight bounds.  ``None`` (the default) disables the exchange;
+            peer candidates only tighten pruning decisions and never
+            enter this shard's own results, so shard artifacts are
+            unchanged either way.
     """
 
     block_size: int = 16
@@ -242,6 +261,8 @@ class SearchConfig:
     pressure: bool = True
     pressure_relax_rounds: int = 64
     probation_rounds: int | None = None
+    prune: bool = True
+    prune_sync_rounds: int | None = None
 
     def __post_init__(self) -> None:
         if self.score_path not in ("fused", "dense"):
@@ -291,6 +312,10 @@ class SearchConfig:
         if self.probation_rounds is not None and self.probation_rounds < 1:
             raise ValueError(
                 f"probation_rounds must be >= 1, got {self.probation_rounds}"
+            )
+        if self.prune_sync_rounds is not None and self.prune_sync_rounds < 1:
+            raise ValueError(
+                f"prune_sync_rounds must be >= 1, got {self.prune_sync_rounds}"
             )
         # Delegate retry-knob validation to RetryPolicy (and fail fast on a
         # malformed fault spec rather than mid-search).
@@ -507,6 +532,15 @@ class Epi4TensorSearch:
             if isinstance(score, K2Score)
             else None
         )
+        #: Admissible K2 bound kernel for branch-and-bound pruning; shares
+        #: the staged kernel's lgamma table (K2-only, like the kernel).
+        self._bound_kernel = (
+            K2BoundKernel(
+                self._staged.table, encoded.n_controls, encoded.n_cases
+            )
+            if self._staged is not None
+            else None
+        )
         #: ``max_chunk_cells`` actually used by the hot loop; the autotune
         #: calibration pass may override the configured value per run.
         self._tuned_chunk_cells = self.config.max_chunk_cells
@@ -548,6 +582,13 @@ class Epi4TensorSearch:
         self._watchdog: LaunchWatchdog | None = None
         self._pressure: PressureGovernor | None = None
         self._probation: ProbationManager | None = None
+        # Cross-shard threshold sharing (see repro.dist.threshold): peer
+        # candidates live in a separate reducer consulted only by the
+        # prune threshold — they never enter this run's own results.
+        self._threshold_exchange = None
+        self._sync_reducer: TopKReducer | None = None
+        self._sync_lock = threading.Lock()
+        self._sync_counter = 0
 
     # ------------------------------------------------------------------ #
     # Observability plumbing
@@ -704,6 +745,12 @@ class Epi4TensorSearch:
             phase="encode",
             device="host",
         )
+        # Pruning series exist (zero-valued) even when nothing prunes —
+        # prune-off runs, non-K2 scores, dense path — so dashboards,
+        # golden fixtures and shard merges see a stable metric schema.
+        for name in ("epi4_prune_quads_total", "epi4_prune_rounds_total"):
+            self.metrics.inc(name, 0, device="0")
+        self.metrics.inc("epi4_prune_sync_total", 0)
         total_timer = Timer()
         run_span = self.tracer.span(
             "run",
@@ -740,6 +787,8 @@ class Epi4TensorSearch:
                     gpu.engine.memoize_dense = dense_memo
             reducer = TopKReducer(self.config.top_k)
             self._global_reducer = reducer
+            self._sync_reducer = None
+            self._sync_counter = 0
             done: set[int] = set()
             if checkpoint is not None:
                 checkpoint.seed_reducer(reducer)
@@ -779,6 +828,10 @@ class Epi4TensorSearch:
                         # crash after this line re-runs nothing.
                         journal.commit(wi, reducer.result())
 
+            if self._sync_enabled():
+                # Warm start: inherit whatever thresholds peer shards have
+                # already published (a late shard starts tight).
+                self._sync_thresholds()
             if self.config.partition == "samples" and self.cluster.n_gpus > 1:
                 self._run_samples_partition(done, run_iteration)
             else:
@@ -790,6 +843,10 @@ class Epi4TensorSearch:
             with self.tracer.span("reduce"):
                 top = reducer.result()
             solution = top[0] if top else reduce_solutions([])
+            if self._sync_enabled():
+                # Final beat: still-running peers inherit this shard's
+                # finished top-k immediately.
+                self._sync_thresholds()
 
         merged = KernelCounters()
         for gpu in self.cluster.gpus:
@@ -806,9 +863,16 @@ class Epi4TensorSearch:
             journal.export_metrics(self.metrics)
         positions = self.metrics.total("epi4_applyscore_positions_total")
         if positions:
+            # Mask-valid fraction of grid positions: pruned quads were
+            # mask-valid too, so the ratio keeps its meaning (and its
+            # prune-off value) whether or not the gate then dropped them.
             self.metrics.set_gauge(
                 "epi4_applyscore_compaction_ratio",
-                self.metrics.total("epi4_applyscore_valid_total") / positions,
+                (
+                    self.metrics.total("epi4_applyscore_valid_total")
+                    + self.metrics.total("epi4_prune_quads_total")
+                )
+                / positions,
             )
         self.metrics.set_gauge("epi4_wall_seconds", total_timer.elapsed)
         result = SearchResult(
@@ -1406,6 +1470,7 @@ class Epi4TensorSearch:
                             rounds[start : start + batch],
                             shared,
                             parent_span,
+                            reducer,
                         )
                     )
         if depth == 0:
@@ -1455,11 +1520,25 @@ class Epi4TensorSearch:
         group: list[tuple[int, int]],
         shared: dict,
         parent_span,
+        reducer: TopKReducer,
     ) -> Callable[[], "_StagedGroup"]:
         """Build the (idempotent) stage closure for one round group: all
         combines, sweeps and fused tensor launches the group's rounds
-        need, returning host-resident operands ready to score."""
+        need, returning host-resident operands ready to score.
+
+        With pruning inactive the stage issues its launches in the exact
+        historical order (combine+sweep, per-``Yi`` sweeps, ``yz``
+        combines, fused 4-way GEMM).  With pruning active the third-order
+        sweeps are staged *lazily*: the fused GEMM runs first, each
+        round's aggregate 16-corner bound (:meth:`K2BoundKernel.round_bound`)
+        is compared against the current threshold, and sweeps are staged
+        only for rounds that survive — an elided round skips its sweep
+        launches entirely when the operand cache is off.  An implausible
+        (fault-corrupted) corner block bounds to ``-inf`` and is never
+        elided, so it still reaches the scoring path's validation.
+        """
         b = self.scheme.block_size
+        prune = self._prune_active()
 
         def stage() -> _StagedGroup:
             wo, xo = wi * b, xi * b
@@ -1474,17 +1553,19 @@ class Epi4TensorSearch:
                 if "wx" not in shared:
                     wx = [executor.combine(c, wo, xo) for c in (0, 1)]
                     shared["wx"] = wx
-                    shared["sweep_wx"] = [
-                        executor.sweep3(c, wo, xo, combined=wx[c])
-                        for c in (0, 1)
-                    ]
+                    if not prune:
+                        shared["sweep_wx"] = [
+                            executor.sweep3(c, wo, xo, combined=wx[c])
+                            for c in (0, 1)
+                        ]
                     shared["sweeps"] = {}
                 wx = shared["wx"]
-                for yi, _zi in group:
-                    if yi not in shared["sweeps"]:
-                        shared["sweeps"][yi] = self._yi_sweeps(
-                            executor, wo, xo, yi * b
-                        )
+                if not prune:
+                    for yi, _zi in group:
+                        if yi not in shared["sweeps"]:
+                            shared["sweeps"][yi] = self._yi_sweeps(
+                                executor, wo, xo, yi * b
+                            )
                 yz_by_round = [
                     [executor.combine(c, yi * b, zi * b) for c in (0, 1)]
                     for yi, zi in group
@@ -1495,19 +1576,63 @@ class Epi4TensorSearch:
                     )
                     for c in (0, 1)
                 ]
+                rounds = []
+                if prune:
+                    threshold = self._prune_threshold(reducer)
+                    survivors: list[int] = []
+                    for k, (yi, zi) in enumerate(group):
+                        corner4 = (
+                            corner4_by_class[0][k],
+                            corner4_by_class[1][k],
+                        )
+                        elided = False
+                        n_masked = 0
+                        if np.isfinite(threshold):
+                            mask = round_validity_mask(
+                                (wo, xo, yi * b, zi * b),
+                                b,
+                                self.scheme.n_real_snps,
+                            )
+                            bound = self._bound_kernel.round_bound(
+                                corner4, mask
+                            )
+                            if bound > threshold + PRUNE_SLACK:
+                                elided = True
+                                n_masked = int(mask.sum())
+                        rounds.append((yi, zi, corner4, elided, n_masked))
+                        if not elided and yi not in survivors:
+                            survivors.append(yi)
+                    if survivors and "sweep_wx" not in shared:
+                        shared["sweep_wx"] = [
+                            executor.sweep3(c, wo, xo, combined=wx[c])
+                            for c in (0, 1)
+                        ]
+                    for yi in survivors:
+                        if yi not in shared["sweeps"]:
+                            shared["sweeps"][yi] = self._yi_sweeps(
+                                executor, wo, xo, yi * b
+                            )
+                else:
+                    rounds = [
+                        (
+                            yi,
+                            zi,
+                            (corner4_by_class[0][k], corner4_by_class[1][k]),
+                            False,
+                            0,
+                        )
+                        for k, (yi, zi) in enumerate(group)
+                    ]
             return _StagedGroup(
                 wi=wi,
                 xi=xi,
-                sweep_wx=shared["sweep_wx"],
-                yi_sweeps={yi: shared["sweeps"][yi] for yi, _ in group},
-                rounds=[
-                    (
-                        yi,
-                        zi,
-                        (corner4_by_class[0][k], corner4_by_class[1][k]),
-                    )
-                    for k, (yi, zi) in enumerate(group)
-                ],
+                sweep_wx=shared.get("sweep_wx"),
+                yi_sweeps={
+                    yi: shared["sweeps"][yi]
+                    for yi, _ in group
+                    if yi in shared["sweeps"]
+                },
+                rounds=rounds,
                 stage_seconds=time.perf_counter() - t0,
             )
 
@@ -1541,11 +1666,37 @@ class Epi4TensorSearch:
         staged: "_StagedGroup",
     ) -> None:
         """Score every round of a staged group (host math only — all
-        device launches already happened in the stage task)."""
+        device launches already happened in the stage task).
+
+        A round the stage task elided is only accounted: its mask-valid
+        positions count as pruned (keeping the conservation law
+        ``valid + pruned == mask-valid`` exact), the round still ticks
+        the per-round bookkeeping, and no completion or scoring runs.
+        """
         b = self.scheme.block_size
         wo, xo = staged.wi * b, staged.xi * b
-        for yi, zi, corner4 in staged.rounds:
+        dev = str(executor.device_id)
+        for yi, zi, corner4, elided, n_masked in staged.rounds:
             yo, zo = yi * b, zi * b
+            if elided:
+                round_t0 = time.perf_counter()
+                with self.tracer.span(
+                    "round",
+                    wi=staged.wi,
+                    xi=staged.xi,
+                    yi=yi,
+                    zi=zi,
+                    elided=1,
+                ):
+                    self.metrics.inc(
+                        "epi4_applyscore_positions_total", b ** 4, device=dev
+                    )
+                    self.metrics.inc(
+                        "epi4_prune_quads_total", n_masked, device=dev
+                    )
+                    self.metrics.inc("epi4_prune_rounds_total", device=dev)
+                self._note_round_done(executor, reducer, round_t0)
+                continue
             sweep_wy, sweep_xy = staged.yi_sweeps[yi]
             round_t0 = time.perf_counter()
             with self.tracer.span(
@@ -1580,7 +1731,7 @@ class Epi4TensorSearch:
         operands: RoundOperands,
     ) -> None:
         """Shared per-round tail: score, account, reduce."""
-        scores, score_cells = self._score_round(executor, operands)
+        scores, score_cells = self._score_round(executor, operands, reducer)
         with self._phase_scope("score", executor.device_id, span="score"):
             executor.account_score(score_cells)
         with self._phase_scope("score", executor.device_id, span="reduce"):
@@ -1608,6 +1759,14 @@ class Epi4TensorSearch:
                     step,
                     "expand",
                 )
+        if self._sync_enabled():
+            due = False
+            with self._sync_lock:
+                self._sync_counter += 1
+                if self._sync_counter % self.config.prune_sync_rounds == 0:
+                    due = True
+            if due:
+                self._sync_thresholds()
         if self._progress_callback is not None:
             with self._progress_lock:
                 self._rounds_done += 1
@@ -1626,6 +1785,70 @@ class Epi4TensorSearch:
         return True
 
     # ------------------------------------------------------------------ #
+    # Branch-and-bound pruning (see repro.scoring.bounds)
+
+    def attach_threshold_exchange(self, exchange) -> None:
+        """Attach a :class:`~repro.dist.threshold.ThresholdExchange`.
+
+        Every ``config.prune_sync_rounds`` completed rounds (plus once at
+        run start and once at the end) this search publishes its global
+        top-k and refreshes the peer-shard threshold reducer.  Peer
+        candidates feed *only* the prune threshold — they never enter
+        this run's own reduction, so shard artifacts are byte-identical
+        with or without an exchange."""
+        self._threshold_exchange = exchange
+
+    def _prune_active(self) -> bool:
+        """Whether the bound-first gate runs: configured on, fused path,
+        and a K2 bound kernel available (other score functions have no
+        admissible corner bound)."""
+        return (
+            self.config.prune
+            and self.config.score_path == "fused"
+            and self._bound_kernel is not None
+        )
+
+    def _prune_threshold(self, reducer: TopKReducer) -> float:
+        """Tightest currently-safe prune threshold.
+
+        The minimum over the per-iteration reducer, the run-global
+        reducer and — when a threshold exchange is attached — the
+        peer-shard reducer.  Each contributor's ``kth_score`` is the
+        k-th best of a *subset* of the final candidate set, hence
+        ``>=`` the final k-th best; pruning strictly above the minimum
+        can therefore never drop a final top-k member.  ``+inf`` (all
+        contributors under-filled) disables pruning."""
+        threshold = min(
+            reducer.kth_score(), self._global_reducer.kth_score()
+        )
+        sync = self._sync_reducer
+        if sync is not None:
+            threshold = min(threshold, sync.kth_score())
+        return threshold
+
+    def _sync_enabled(self) -> bool:
+        return (
+            self._threshold_exchange is not None
+            and self.config.prune_sync_rounds is not None
+        )
+
+    def _sync_thresholds(self) -> None:
+        """One threshold-exchange beat: publish this run's global top-k,
+        then rebuild the peer-shard reducer from every peer's latest
+        published candidates."""
+        exchange = self._threshold_exchange
+        if exchange is None:
+            return
+        with self.tracer.span("prune_sync", dev="host"):
+            exchange.publish(self._global_reducer.result())
+            peers = exchange.peer_solutions()
+            if peers:
+                self._sync_reducer = TopKReducer.from_solutions(
+                    self.config.top_k, peers
+                )
+        self.metrics.inc("epi4_prune_sync_total")
+
+    # ------------------------------------------------------------------ #
     # Scoring with graceful degradation
 
     def _apply_score_path(
@@ -1634,6 +1857,7 @@ class Epi4TensorSearch:
         operands: RoundOperands,
         *,
         triplet_cache: bool = True,
+        reducer: TopKReducer | None = None,
     ) -> tuple[np.ndarray, int]:
         """Run the configured completion+scoring path on one round.
 
@@ -1641,7 +1865,9 @@ class Epi4TensorSearch:
         only the mask-compacted positions (and accounts exactly those),
         serves completed triplets through the executor's ``full3`` hook,
         and records the ``epi4_applyscore_*`` series; the dense ablation
-        path reproduces the legacy full-grid behaviour.
+        path reproduces the legacy full-grid behaviour.  With a reducer
+        and pruning active, the bound-first gate drops positions that
+        provably cannot enter the top-k before completion runs.
         """
         chunk_cells = self._tuned_chunk_cells
         if self._pressure is not None:
@@ -1655,6 +1881,7 @@ class Epi4TensorSearch:
                 max_chunk_cells=chunk_cells,
             )
             return scores, operands.block_size ** 4 * 81 * 2
+        prune = reducer is not None and self._prune_active()
         scores, stats = score_round(
             operands,
             self._low.pairs,
@@ -1663,6 +1890,10 @@ class Epi4TensorSearch:
             max_chunk_cells=chunk_cells,
             staged_kernel=self._staged,
             full3_provider=executor.full3 if triplet_cache else None,
+            bound_kernel=self._bound_kernel if prune else None,
+            prune_threshold=(
+                (lambda: self._prune_threshold(reducer)) if prune else None
+            ),
         )
         dev = str(executor.device_id)
         self.metrics.inc(
@@ -1674,10 +1905,17 @@ class Epi4TensorSearch:
         self.metrics.inc(
             "epi4_applyscore_chunks_total", stats.chunks, device=dev
         )
+        if stats.pruned:
+            self.metrics.inc(
+                "epi4_prune_quads_total", stats.pruned, device=dev
+            )
         return scores, stats.valid * 81 * 2
 
     def _score_round(
-        self, executor: "_KernelExecutor", operands: RoundOperands
+        self,
+        executor: "_KernelExecutor",
+        operands: RoundOperands,
+        reducer: TopKReducer | None = None,
     ) -> tuple[np.ndarray, int]:
         """Score one round, degrading to the independent bitwise path on
         detected corruption instead of aborting.
@@ -1700,14 +1938,16 @@ class Epi4TensorSearch:
                     operands, self.encoded.n_controls, self.encoded.n_cases
                 )
             with self._phase_scope("score", executor.device_id, span="derive"):
-                scores, cells = self._apply_score_path(executor, operands)
+                scores, cells = self._apply_score_path(
+                    executor, operands, reducer=reducer
+                )
             if self.config.selfcheck:
                 verify_round_best(
                     self.encoded, scores, operands.offsets, self._score_min
                 )
             return scores, cells
         except SelfCheckError as err:
-            return self._degraded_round(executor, operands, err)
+            return self._degraded_round(executor, operands, err, reducer)
 
     def _purge_round_triplets(self, offsets: tuple[int, int, int, int]) -> None:
         """Invalidate a round's completed-triplet cache entries.
@@ -1731,6 +1971,7 @@ class Epi4TensorSearch:
         executor: "_KernelExecutor",
         operands: RoundOperands,
         err: SelfCheckError,
+        reducer: TopKReducer | None = None,
     ) -> tuple[np.ndarray, int]:
         reason = "corrupt" if isinstance(err, CorruptOutputError) else "selfcheck"
         self._purge_round_triplets(operands.offsets)
@@ -1740,8 +1981,10 @@ class Epi4TensorSearch:
         with self._phase_scope("score", executor.device_id, span="derive"):
             # The degraded pass bypasses the triplet cache entirely: its
             # completions come from the independent corners, unshared.
+            # The bound gate stays active — the independent corners are
+            # exact, so the bound is just as admissible on them.
             scores, cells = self._apply_score_path(
-                executor, safe, triplet_cache=False
+                executor, safe, triplet_cache=False, reducer=reducer
             )
         if self.config.selfcheck:
             # Still wrong on the independent path => the corruption is not
@@ -1764,11 +2007,16 @@ class _StagedGroup:
 
     wi: int
     xi: int
-    #: Per-class ``wx`` third-order sweeps (shared across the pair's groups).
-    sweep_wx: list
-    #: ``{yi: (sweep_wy_per_class, sweep_xy_per_class)}`` for the group.
+    #: Per-class ``wx`` third-order sweeps (shared across the pair's
+    #: groups); ``None`` when bound pruning elided every round that
+    #: would have needed them.
+    sweep_wx: list | None
+    #: ``{yi: (sweep_wy_per_class, sweep_xy_per_class)}`` for the group's
+    #: surviving (non-elided) rounds.
     yi_sweeps: dict
-    #: ``(yi, zi, per_class_corner4)`` per round, in round order.
+    #: ``(yi, zi, per_class_corner4, elided, n_masked)`` per round, in
+    #: round order; ``n_masked`` is the mask-valid position count of an
+    #: elided round (0 otherwise).
     rounds: list
     #: Wall seconds the stage task spent (for the overlap metric).
     stage_seconds: float
@@ -2218,7 +2466,10 @@ def search_best_quad(
     spec: GPUSpec = A100_PCIE,
     n_gpus: int = 1,
     engine_kind: str | None = None,
+    prune: bool = True,
 ) -> SearchResult:
     """One-call convenience wrapper around :class:`Epi4TensorSearch`."""
-    config = SearchConfig(block_size=block_size, score=score, engine_kind=engine_kind)
+    config = SearchConfig(
+        block_size=block_size, score=score, engine_kind=engine_kind, prune=prune
+    )
     return Epi4TensorSearch(dataset, config, spec=spec, n_gpus=n_gpus).run()

@@ -1,0 +1,127 @@
+"""Cross-shard prune-threshold exchange for branch-and-bound pruning.
+
+Shards of a distributed run are communication-free for *results* (§3.6),
+but the branch-and-bound gate (see :mod:`repro.scoring.bounds`) profits
+from the tightest threshold anyone has found: a late-started shard that
+inherits an early shard's top-k starts pruning immediately instead of
+warming up from ``+inf``.
+
+The exchange is a shared-directory protocol with no coordination:
+
+- every shard periodically *publishes* its current global top-k as an
+  atomically written (write → fsync → rename) JSON file
+  ``threshold-{i}of{n}.json`` in the shared output directory;
+- every shard periodically *reads* its peers' latest files and folds the
+  candidates into a threshold-only reducer consulted by the prune gate.
+
+Correctness needs no locking.  Every published candidate was really
+scored by some shard, so the k-th best of any union of published sets is
+``>=`` the final merged k-th best — a peer-informed threshold can only
+prune quads the final merge would discard anyway.  Atomic replacement
+means a concurrent reader sees either the old or the new complete file,
+never a torn one; an unreadable or foreign file is simply skipped (a
+crashed peer must never take a healthy shard down with it).  Peer
+candidates feed *only* the prune threshold — they never enter a shard's
+own reduction.  A peer-informed threshold can shrink a shard's *local*
+tail (quads ranking in the local top-k but above the global k-th get
+pruned), but never touches anything at or below the merged k-th score,
+so the merged result is bit-identical with or without the exchange.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.core.solution import Solution
+
+SCHEMA_VERSION = 1
+KIND = "epi4tensor-threshold"
+
+
+def threshold_file_name(index: int, count: int) -> str:
+    return f"threshold-{index}of{count}.json"
+
+
+class ThresholdExchange:
+    """One shard's handle on the shared threshold directory.
+
+    Args:
+        directory: the shared output directory (created if missing).
+        index / count: this shard's position — its own file is written
+            under that name and excluded from :meth:`peer_solutions`.
+        fingerprint: the *undomained* search fingerprint shared by every
+            shard of the run; peer files carrying a different
+            fingerprint (stale files from another run in a reused
+            directory) are ignored.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        index: int,
+        count: int,
+        *,
+        fingerprint: str = "",
+    ) -> None:
+        self.directory = os.fspath(directory)
+        self.index = int(index)
+        self.count = int(count)
+        self.fingerprint = fingerprint
+        os.makedirs(self.directory, exist_ok=True)
+
+    @property
+    def path(self) -> str:
+        """This shard's own threshold file path."""
+        return os.path.join(
+            self.directory, threshold_file_name(self.index, self.count)
+        )
+
+    def publish(self, solutions: list[Solution]) -> None:
+        """Atomically publish this shard's current top-k."""
+        from repro.dist.worker import _write_atomic
+
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "kind": KIND,
+            "fingerprint": self.fingerprint,
+            "shard": {"index": self.index, "count": self.count},
+            "solutions": [s.to_pair() for s in solutions],
+        }
+        _write_atomic(
+            self.path, json.dumps(payload, sort_keys=True) + "\n"
+        )
+
+    def peer_solutions(self) -> list[Solution]:
+        """Every candidate currently published by the *other* shards.
+
+        Unreadable, torn-looking, foreign-kind or foreign-fingerprint
+        files are skipped silently: the exchange is an optimization and
+        must never fail a healthy shard.
+        """
+        peers: list[Solution] = []
+        for i in range(self.count):
+            if i == self.index:
+                continue
+            path = os.path.join(
+                self.directory, threshold_file_name(i, self.count)
+            )
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    payload = json.load(fh)
+            except (OSError, ValueError):
+                continue
+            if (
+                not isinstance(payload, dict)
+                or payload.get("kind") != KIND
+                or payload.get("fingerprint") != self.fingerprint
+            ):
+                continue
+            try:
+                peers.extend(
+                    Solution.from_pair(pair)
+                    for pair in payload.get("solutions", [])
+                )
+            except (TypeError, ValueError):
+                continue
+        return peers

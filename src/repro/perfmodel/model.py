@@ -91,6 +91,7 @@ def predict_search(
     cache_operands: bool = False,
     batch_rounds: int = 1,
     launch_overhead_us: float = 0.0,
+    survivor_fraction: float = 1.0,
 ) -> PerformancePrediction:
     """Project a single-GPU search.
 
@@ -116,6 +117,13 @@ def predict_search(
             charged once per *executed* launch.  The default 0 keeps the
             FLOP-only model (and every pre-existing prediction) unchanged;
             a few us is typical of a CUDA kernel dispatch.
+        survivor_fraction: branch-and-bound gate pass rate (see
+            :mod:`repro.scoring.bounds` and §9 of
+            ``docs/performance_model.md``).  Tensor-GEMM volume is
+            bound-invariant — the corners feed the bound itself — so the
+            projected *time* is unchanged; the workload carries the
+            fraction so ``score_cells_pruned`` and ``bound_cells`` report
+            the applyScore-side work the gate saves and adds.
     """
     wl = search_workload(
         n_snps,
@@ -123,6 +131,7 @@ def predict_search(
         block_size,
         n_real_snps=n_real_snps,
         cache_operands=cache_operands,
+        survivor_fraction=survivor_fraction,
     )
     eff = tensor_efficiency(
         spec,

@@ -46,6 +46,13 @@ class SearchWorkload:
         n_rounds: evaluation rounds.
         quads_processed: positional quads (incl. repeats).
         unique_quads: ``C(M_real, 4)``.
+        survivor_fraction: fraction of mask-valid quads the admissible
+            branch-and-bound gate (see :mod:`repro.scoring.bounds`) lets
+            through to completion+scoring.  ``1.0`` (the default) models
+            the exhaustive / prune-off run; measured values come from
+            ``epi4_applyscore_valid_total / (valid + pruned)``.  Pruning
+            never changes results, so only :attr:`score_cells_pruned`
+            and the bound-evaluation overhead depend on it.
     """
 
     n_snps: int
@@ -61,6 +68,7 @@ class SearchWorkload:
     n_rounds: int
     quads_processed: int
     unique_quads: int
+    survivor_fraction: float = 1.0
 
     @property
     def tensor_ops(self) -> int:
@@ -83,6 +91,27 @@ class SearchWorkload:
     @property
     def useful_fraction(self) -> float:
         return self.unique_quads / self.quads_processed
+
+    @property
+    def bound_cells(self) -> int:
+        """Cells gathered and evaluated by the branch-and-bound gate:
+        every mask-valid (= unique) quad is bounded once from its 48
+        known cells per class (16 fourth-order corners + four
+        one-index-is-2 fibers derived by marginal subtraction) before
+        the gate decides.  The two per-class remainder terms reuse the
+        same table views and are O(1) per quad — negligible next to the
+        gather, so they are not counted separately.  The gate is a pure
+        win whenever ``(1 - survivor_fraction) * 81 * 2`` exceeds this
+        ``96`` cells/quad overhead, i.e. whenever more than ~59% of
+        quads prune."""
+        return self.unique_quads * 48 * 2
+
+    @property
+    def score_cells_pruned(self) -> int:
+        """Cells completed and scored when the branch-and-bound gate
+        passes only :attr:`survivor_fraction` of mask-valid quads
+        (equals :attr:`score_cells` at the default 1.0)."""
+        return int(round(self.score_cells * self.survivor_fraction))
 
     @property
     def scaled_quads(self) -> int:
@@ -239,6 +268,7 @@ def search_workload(
     *,
     n_real_snps: int | None = None,
     cache_operands: bool = False,
+    survivor_fraction: float = 1.0,
 ) -> SearchWorkload:
     """Exact totals for a search over ``M`` padded SNPs and ``N`` samples.
 
@@ -259,7 +289,16 @@ def search_workload(
             per-quad unique and unaffected.  These reduced totals are
             asserted against executed :class:`~repro.device.VirtualGPU`
             counters in the equivalence suite.
+        survivor_fraction: branch-and-bound gate pass rate in ``(0, 1]``
+            (see :attr:`SearchWorkload.survivor_fraction`); ``1.0``
+            models the exhaustive run.  ``score_cells`` itself stays the
+            exhaustive total — the pruned projection is the
+            :attr:`SearchWorkload.score_cells_pruned` property.
     """
+    if not 0.0 < survivor_fraction <= 1.0:
+        raise ValueError(
+            f"survivor_fraction must be in (0, 1], got {survivor_fraction}"
+        )
     nb = num_blocks(n_snps, block_size)
     b = block_size
     m = n_snps
@@ -309,4 +348,5 @@ def search_workload(
         n_rounds=n_rounds,
         quads_processed=n_rounds * b**4,
         unique_quads=unique_combinations(real),
+        survivor_fraction=survivor_fraction,
     )

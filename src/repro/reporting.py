@@ -145,6 +145,26 @@ def format_search_report(
                 f"  autotuned chunking  : {int(chunk):,} cells "
                 f"({cal * 1e3:.0f} ms calibration)"
             )
+        pruned = m.total("epi4_prune_quads_total")
+        if pruned:
+            elided = m.total("epi4_prune_rounds_total")
+            frac = pruned / max(1.0, pruned + valid)
+            add(
+                f"  bound pruning       : {int(pruned):,} quads "
+                f"({100 * frac:.1f}% of mask-valid) dropped before "
+                "completion (bit-identical top-k)"
+            )
+            if elided:
+                add(
+                    f"  rounds elided       : {int(elided):,} whole rounds "
+                    "skipped by the aggregate corner bound"
+                )
+            synced = m.total("epi4_prune_sync_total")
+            if synced:
+                add(
+                    f"  threshold exchange  : {int(synced):,} cross-shard "
+                    "sync beat(s)"
+                )
         add("")
 
     if result.metrics is not None:
@@ -345,5 +365,15 @@ def format_merged_report(merged) -> str:
             f"  shard iterations    : "
             f"{int(m.total('epi4_shard_iterations_total'))}"
         )
+        # Tolerant of artifacts lacking the pruning series (older
+        # workers, prune-off shards): total() is 0 for absent series.
+        pruned = m.total("epi4_prune_quads_total")
+        if pruned:
+            synced = int(m.total("epi4_prune_sync_total"))
+            add(
+                f"  bound pruning       : {int(pruned):,} quads pruned, "
+                f"{int(m.total('epi4_prune_rounds_total')):,} rounds "
+                f"elided, {synced} threshold sync beat(s)"
+            )
         add("")
     return "\n".join(lines)

@@ -10,6 +10,7 @@ All scores are *batched*: they accept ``(..., 3, 3, 3, 3)`` (or any order
 """
 
 from repro.scoring.base import ScoreFunction, normalized_for_minimization
+from repro.scoring.bounds import PRUNE_SLACK, K2BoundKernel
 from repro.scoring.chi2 import ChiSquaredScore
 from repro.scoring.gtest import GTestScore
 from repro.scoring.k2 import K2Score
@@ -37,9 +38,11 @@ def make_score(name: str, **kwargs) -> ScoreFunction:
 __all__ = [
     "ChiSquaredScore",
     "GTestScore",
+    "K2BoundKernel",
     "K2Score",
     "LgammaTable",
     "MutualInformationScore",
+    "PRUNE_SLACK",
     "SCORE_FUNCTIONS",
     "ScoreFunction",
     "make_score",

@@ -1,0 +1,199 @@
+"""Unit suite for the admissible K2 bound kernel.
+
+The branch-and-bound gate is only sound if the bound never overestimates
+the exact score; everything else (pruning power, elision rate) is a
+performance question.  This file locks in:
+
+1. **Admissibility** — ``quad_bounds <= exact`` for every valid position
+   across the overlap-order round shapes, and ``round_bound`` lower-bounds
+   both the quad bounds and the exact masked minimum.
+2. **Fail-safety** — implausible counts (the fault injector's planted
+   negatives, totals beyond the lgamma table) make the kernel decline
+   (``None`` / ``-inf``) rather than emit a bound that could mis-prune.
+3. **Identities** — the ``log(n + 1)`` remainder trick and the per-cell
+   minorant the proofs rest on.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.apply_score import (
+    RoundOperands,
+    apply_score_dense,
+    round_validity_mask,
+)
+from repro.core.pairwise import pairw_pop
+from repro.core.selfcheck import direct_round_operands
+from repro.datasets import encode_dataset, generate_random_dataset
+from repro.scoring import K2Score, PRUNE_SLACK, K2BoundKernel
+from repro.scoring.base import normalized_for_minimization
+from repro.scoring.lgamma_table import LgammaTable
+
+# Same overlap-order coverage as the fused applyScore suite: distinct
+# blocks, shared pairs, triples, the diagonal, and padding-touching tails.
+ROUND_OFFSETS = [
+    (0, 4, 8, 12),
+    (0, 0, 8, 12),
+    (0, 4, 4, 12),
+    (0, 4, 8, 8),
+    (0, 0, 0, 12),
+    (0, 0, 8, 8),
+    (4, 4, 4, 4),
+    (8, 12, 16, 16),
+    (16, 16, 16, 16),
+]
+
+
+def _setup(n_snps=18, n_samples=112, block_size=4, seed=11):
+    ds = generate_random_dataset(n_snps, n_samples, seed=seed)
+    enc = encode_dataset(ds, block_size=block_size)
+    pairs = pairw_pop(enc).pairs
+    score = K2Score()
+    score_min = normalized_for_minimization(score)
+    staged = score.staged_kernel(enc.n_samples)
+    kernel = K2BoundKernel(staged.table, enc.n_controls, enc.n_cases)
+    return enc, pairs, score_min, kernel
+
+
+@pytest.fixture(scope="module")
+def env():
+    return _setup()
+
+
+class TestAdmissibility:
+    @pytest.mark.parametrize("offsets", ROUND_OFFSETS)
+    def test_quad_bounds_never_exceed_exact(self, env, offsets):
+        enc, pairs, score_min, kernel = env
+        operands = direct_round_operands(enc, offsets, 4)
+        exact = apply_score_dense(operands, pairs, score_min, enc.n_real_snps)
+        mask = round_validity_mask(offsets, 4, enc.n_real_snps)
+        w, x, y, z = np.nonzero(mask)
+        if w.size == 0:
+            return
+        bounds = kernel.quad_bounds(operands, w, x, y, z)
+        assert bounds is not None
+        assert bounds.shape == (w.size,)
+        # The gate keeps ties, so admissibility-with-slack is the exact
+        # contract it relies on.
+        assert np.all(bounds <= exact[mask] + PRUNE_SLACK)
+
+    @pytest.mark.parametrize("offsets", ROUND_OFFSETS)
+    def test_round_bound_below_quad_bounds_and_exact(self, env, offsets):
+        enc, pairs, score_min, kernel = env
+        operands = direct_round_operands(enc, offsets, 4)
+        mask = round_validity_mask(offsets, 4, enc.n_real_snps)
+        rb = kernel.round_bound(operands.corner4, mask)
+        if not mask.any():
+            assert rb == math.inf
+            return
+        w, x, y, z = np.nonzero(mask)
+        quad = kernel.quad_bounds(operands, w, x, y, z)
+        exact = apply_score_dense(operands, pairs, score_min, enc.n_real_snps)
+        # The 16-corner bound knows strictly less than the 48-cell bound,
+        # which in turn never exceeds the exact score.
+        assert rb <= quad.min() + PRUNE_SLACK
+        assert rb <= float(exact[mask].min()) + PRUNE_SLACK
+
+    def test_bounds_are_positive_finite(self, env):
+        # Every K2 term is non-negative and the remainder adds log(n+1)
+        # terms, so real datasets yield strictly positive finite bounds.
+        enc, _, _, kernel = env
+        operands = direct_round_operands(enc, (0, 4, 8, 12), 4)
+        mask = round_validity_mask((0, 4, 8, 12), 4, enc.n_real_snps)
+        w, x, y, z = np.nonzero(mask)
+        bounds = kernel.quad_bounds(operands, w, x, y, z)
+        assert np.all(np.isfinite(bounds))
+        assert np.all(bounds > 0)
+
+
+class TestFailSafety:
+    def _corrupt(self, operands, value=-42):
+        c0 = operands.corner4[0].copy()
+        c0[0, 0, 0, 0, 0, 0, 0, 0] = value
+        return RoundOperands(
+            corner4=(c0, operands.corner4[1]),
+            corner3_wxy=operands.corner3_wxy,
+            corner3_wxz=operands.corner3_wxz,
+            corner3_wyz=operands.corner3_wyz,
+            corner3_xyz=operands.corner3_xyz,
+            offsets=operands.offsets,
+            block_size=operands.block_size,
+        )
+
+    def test_negative_corner_declines_quad_bounds(self, env):
+        # The fault injector plants negative counts in corner4; the kernel
+        # must refuse to bound rather than gather a garbage lgamma term.
+        enc, _, _, kernel = env
+        operands = self._corrupt(direct_round_operands(enc, (0, 4, 8, 12), 4))
+        mask = round_validity_mask((0, 4, 8, 12), 4, enc.n_real_snps)
+        w, x, y, z = np.nonzero(mask)
+        assert kernel.quad_bounds(operands, w, x, y, z) is None
+
+    def test_negative_corner_never_elides_round(self, env):
+        enc, _, _, kernel = env
+        operands = self._corrupt(direct_round_operands(enc, (0, 4, 8, 12), 4))
+        mask = round_validity_mask((0, 4, 8, 12), 4, enc.n_real_snps)
+        assert kernel.round_bound(operands.corner4, mask) == -math.inf
+
+    def test_inflated_corner_declines(self, env):
+        # A too-large count (sum beyond N) shows up as a negative fiber or
+        # remainder after marginal subtraction.
+        enc, _, _, kernel = env
+        operands = self._corrupt(
+            direct_round_operands(enc, (0, 4, 8, 12), 4),
+            value=10 * (kernel.n_controls + kernel.n_cases),
+        )
+        mask = round_validity_mask((0, 4, 8, 12), 4, enc.n_real_snps)
+        w, x, y, z = np.nonzero(mask)
+        assert kernel.quad_bounds(operands, w, x, y, z) is None
+
+    def test_table_overflow_declines(self):
+        # A kernel built over a deliberately undersized lgamma table must
+        # decline instead of wrapping through the fancy gather.
+        enc, _, _, _ = _setup(n_snps=8, n_samples=64, seed=3)
+        small = K2BoundKernel(LgammaTable(4), enc.n_controls, enc.n_cases)
+        operands = direct_round_operands(enc, (0, 0, 0, 0), 4)
+        mask = round_validity_mask((0, 0, 0, 0), 4, enc.n_real_snps)
+        w, x, y, z = np.nonzero(mask)
+        assert small.quad_bounds(operands, w, x, y, z) is None
+        assert small.round_bound(operands.corner4, mask) == -math.inf
+
+    def test_zero_valid_round_is_always_elidable(self, env):
+        enc, _, _, kernel = env
+        operands = direct_round_operands(enc, (0, 4, 8, 12), 4)
+        empty = np.zeros((4, 4, 4, 4), dtype=bool)
+        assert kernel.round_bound(operands.corner4, empty) == math.inf
+
+
+class TestIdentities:
+    def test_log1_matches_log(self, env):
+        _, _, _, kernel = env
+        n = np.arange(0, 100, dtype=np.int64)
+        np.testing.assert_allclose(
+            kernel._log1(n), np.log(n + 1.0), rtol=0, atol=1e-12
+        )
+
+    def test_cell_minorant(self, env):
+        # f(a, b) >= log((a+1)(b+1)), the inequality both bound terms rest
+        # on; equality iff a == 0 or b == 0.
+        _, _, _, kernel = env
+        a, b = np.meshgrid(np.arange(30), np.arange(30), indexing="ij")
+        a = a.astype(np.int64)
+        b = b.astype(np.int64)
+        f = kernel._cell_terms(a, b)
+        minorant = np.log(a + 1.0) + np.log(b + 1.0)
+        assert np.all(f >= minorant - 1e-12)
+        boundary = (a == 0) | (b == 0)
+        np.testing.assert_allclose(f[boundary], minorant[boundary], atol=1e-12)
+        assert np.all(f[~boundary] > minorant[~boundary])
+
+    def test_exports(self):
+        import repro.scoring as scoring
+
+        assert scoring.K2BoundKernel is K2BoundKernel
+        assert scoring.PRUNE_SLACK == PRUNE_SLACK
+        assert "K2BoundKernel" in scoring.__all__

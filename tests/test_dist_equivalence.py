@@ -312,3 +312,208 @@ class TestShardJournalGuards:
         )
         with pytest.raises(ValueError, match="nb=99"):
             run_shard(request)
+
+
+class TestPruneSharding:
+    """Branch-and-bound cells of the shard matrix: pruned shards (with or
+    without cross-shard threshold exchange) merge to the unpruned
+    unsharded digest, artifacts stay schema-compatible with pre-pruning
+    consumers, and the threshold files feed *only* the prune gate."""
+
+    @pytest.mark.parametrize("n_shards", [2, 3])
+    def test_pruned_shards_match_unpruned_unsharded(self, n_shards, tmp_path):
+        dataset = _dataset()
+        reference = _unsharded_digest(dataset, _config(prune=False))
+        merged = run_sharded(
+            dataset,
+            _config(prune=True),
+            n_shards=n_shards,
+            out_dir=tmp_path,
+            inline=True,
+        )
+        assert merged.top_k_sha256 == reference
+        assert merged.metrics.total("epi4_prune_quads_total") > 0
+
+    @pytest.mark.parametrize("n_shards", [2, 3])
+    def test_threshold_exchange_cell(self, n_shards, tmp_path):
+        dataset = _dataset()
+        reference = _unsharded_digest(dataset, _config(prune=False))
+        merged = run_sharded(
+            dataset,
+            _config(prune=True, prune_sync_rounds=2),
+            n_shards=n_shards,
+            out_dir=tmp_path,
+            inline=True,
+        )
+        assert merged.top_k_sha256 == reference
+        assert merged.metrics.total("epi4_prune_sync_total") > 0
+        from repro.dist.threshold import threshold_file_name
+
+        for index in range(n_shards):
+            path = tmp_path / threshold_file_name(index, n_shards)
+            assert path.exists()
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            assert payload["kind"] == "epi4tensor-threshold"
+            assert payload["shard"]["index"] == index
+            assert payload["solutions"]  # published [score_hex, packed] pairs
+
+    def test_exchange_is_merge_neutral(self, tmp_path):
+        # Peer thresholds feed only the gate.  A shard's *local* tail may
+        # legitimately shrink (a peer threshold can prune quads that rank
+        # in the shard's local top-k but above the global k-th — they
+        # could never survive the merge anyway), so the invariant is at
+        # the merge: identical digests with and without the exchange, and
+        # every locally surviving score at or below the merged k-th is
+        # untouched.
+        dataset = _dataset()
+        merged = {}
+        artifacts = {}
+        for label, sync in (("solo", None), ("sync", 2)):
+            out = tmp_path / label
+            out.mkdir()
+            merged[label] = run_sharded(
+                dataset,
+                _config(prune=True, prune_sync_rounds=sync),
+                n_shards=2,
+                out_dir=out,
+                inline=True,
+            )
+            artifacts[label] = [
+                json.loads(
+                    (out / shard_artifact_name(i, 2)).read_text(
+                        encoding="utf-8"
+                    )
+                )
+                for i in range(2)
+            ]
+        assert merged["solo"].top_k_sha256 == merged["sync"].top_k_sha256
+        kth = merged["solo"].solutions[-1].score
+        for solo, sync in zip(artifacts["solo"], artifacts["sync"]):
+            keep = [
+                pair for pair in solo["solutions"] if pair[0] <= kth
+            ]
+            assert sync["solutions"][: len(keep)] == keep
+
+    def test_merge_tolerates_artifacts_without_prune_series(self, tmp_path):
+        # Schema tolerance: artifacts written by pre-pruning builds carry
+        # no epi4_prune_* series; the merge must accept them (zero
+        # contribution), not refuse on the missing names.
+        dataset = _dataset()
+        merged = run_sharded(
+            dataset,
+            _config(prune=True),
+            n_shards=2,
+            out_dir=tmp_path,
+            inline=True,
+        )
+        artifacts = []
+        for index in range(2):
+            with open(
+                tmp_path / shard_artifact_name(index, 2), encoding="utf-8"
+            ) as fh:
+                artifacts.append(json.load(fh))
+        for artifact in artifacts:
+            for name in list(artifact["metrics"]["counters"]):
+                if name.startswith("epi4_prune_"):
+                    del artifact["metrics"]["counters"][name]
+        stripped = merge_shards(artifacts)
+        assert stripped.top_k_sha256 == merged.top_k_sha256
+        assert stripped.metrics.total("epi4_prune_quads_total") == 0
+
+    def test_merge_tolerates_mixed_prune_configs(self, tmp_path):
+        # Clause-indexed identity deliberately excludes the prune knob (it
+        # cannot change results): one shard run with the gate on merges
+        # cleanly with one run with it off, to the same digest — and only
+        # the pruned shard contributes prune counts.
+        from repro.datasets import save_dataset
+
+        dataset = _dataset()
+        reference = _unsharded_digest(dataset, _config(prune=False))
+        dataset_path = os.fspath(tmp_path / "ds.npz")
+        save_dataset(dataset_path, dataset)
+        nb = _N_SNPS // _BLOCK
+        plan = plan_shards(
+            nb, 2, block_size=_BLOCK, n_samples=_N_SAMPLES,
+            strategy="contiguous",
+        )
+        artifacts = []
+        for shard, prune in zip(plan.shards, (True, False)):
+            out = tmp_path / f"half-{shard.index}"
+            out.mkdir()
+            request = build_request(
+                dataset_path=dataset_path,
+                out_dir=os.fspath(out),
+                shard={
+                    "index": shard.index,
+                    "count": 2,
+                    "strategy": "contiguous",
+                    "iterations": list(shard.iterations),
+                },
+                nb=nb,
+                config={"block_size": _BLOCK, "top_k": _TOP_K, "prune": prune},
+            )
+            artifacts.append(run_shard(request))
+        merged = merge_shards(artifacts)
+        assert merged.top_k_sha256 == reference
+        assert merged.metrics.total("epi4_prune_quads_total") > 0
+
+    def test_foreign_threshold_files_ignored(self, tmp_path):
+        # Garbage / foreign-kind / torn threshold files in the exchange
+        # directory are skipped silently, never crash a worker.
+        from repro.dist.threshold import ThresholdExchange, threshold_file_name
+
+        (tmp_path / threshold_file_name(1, 2)).write_text("{not json")
+        exchange = ThresholdExchange(tmp_path, 0, 2, fingerprint="fp")
+        assert exchange.peer_solutions() == []
+        (tmp_path / threshold_file_name(1, 2)).write_text(
+            json.dumps({"kind": "something-else"})
+        )
+        assert exchange.peer_solutions() == []
+        dataset = _dataset()
+        reference = _unsharded_digest(dataset, _config(prune=False))
+        merged = run_sharded(
+            dataset,
+            _config(prune=True, prune_sync_rounds=2),
+            n_shards=2,
+            out_dir=tmp_path,
+            inline=True,
+        )
+        assert merged.top_k_sha256 == reference
+
+
+class TestRoundElision:
+    """Whole-round elision: a padded tail round with no mask-valid
+    position is skipped (no completion, no score launch) once the
+    threshold is finite — without perturbing a single result bit."""
+
+    def test_padding_rounds_elided_in_pipelined_path(self):
+        # 18 real SNPs padded to 24 at B=8: the (2,2,2,2) round holds
+        # fewer than 4 real SNPs, so its validity mask is empty and its
+        # round bound is +inf — always elidable once the reducer fills.
+        dataset = generate_random_dataset(18, 96, seed=5)
+        off = Epi4TensorSearch(
+            dataset, SearchConfig(block_size=8, top_k=3, prune=False)
+        ).run()
+        search = Epi4TensorSearch(
+            dataset,
+            SearchConfig(block_size=8, top_k=3, prune=True, batch_rounds=4),
+        )
+        on = search.run()
+        assert search.metrics.total("epi4_prune_rounds_total") > 0
+        assert on.top_solutions == off.top_solutions
+        # Conservation holds with elision: every processed position is
+        # still accounted by the positions counter.
+        m = search.metrics
+        assert m.total("epi4_applyscore_positions_total") == (
+            on.block_scheme.quads_processed
+        )
+
+    def test_elision_disabled_when_prune_off(self):
+        dataset = generate_random_dataset(18, 96, seed=5)
+        search = Epi4TensorSearch(
+            dataset,
+            SearchConfig(block_size=8, top_k=3, prune=False, batch_rounds=4),
+        )
+        search.run()
+        assert search.metrics.total("epi4_prune_rounds_total") == 0
+        assert search.metrics.total("epi4_prune_quads_total") == 0

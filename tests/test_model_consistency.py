@@ -43,8 +43,9 @@ class TestWorkloadVsCounters:
         )
         if ds.n_cases == 0 or ds.n_controls == 0 or m < 4:
             return
+        # prune=False: the closed forms count every valid position scored.
         res = Epi4TensorSearch(
-            ds, SearchConfig(block_size=cfg["block_size"])
+            ds, SearchConfig(block_size=cfg["block_size"], prune=False)
         ).run()
         wl = search_workload(m, cfg["n_samples"], cfg["block_size"])
         c = res.counters

@@ -346,7 +346,12 @@ class TestSearchConservation:
         ds = generate_random_dataset(n_snps, 64, seed=seed)
         search = Epi4TensorSearch(
             ds,
-            SearchConfig(block_size=4, top_k=2, cache_triplets=cache_triplets),
+            SearchConfig(
+                block_size=4,
+                top_k=2,
+                cache_triplets=cache_triplets,
+                prune=False,
+            ),
         )
         result = search.run()
         m = search.metrics
@@ -617,3 +622,171 @@ class TestShardMetricsConservation:
         assert requests == sum(e + s for e, s in shards)
         # Per-shard identity gauges must not survive the merge.
         assert "epi4_shard_index" not in merged.names()
+
+
+# --------------------------------------------------------------------- #
+# 5. Branch-and-bound pruning: admissibility, conservation, monotonicity
+# --------------------------------------------------------------------- #
+
+
+class TestBoundAdmissibility:
+    """The prune gate's soundness contract: the K2 bound never exceeds the
+    exact score of any valid quad, for arbitrary datasets and rounds."""
+
+    @given(ds=datasets(min_snps=4, max_snps=10), seed=st.integers(0, 2**16))
+    @settings(max_examples=12, deadline=None)
+    def test_bound_below_exact_everywhere(self, ds, seed):
+        from repro.core.apply_score import (
+            apply_score_dense,
+            round_validity_mask,
+        )
+        from repro.core.pairwise import pairw_pop
+        from repro.core.selfcheck import direct_round_operands
+        from repro.scoring import PRUNE_SLACK, K2BoundKernel, K2Score
+        from repro.scoring.base import normalized_for_minimization
+
+        b = 4
+        enc = encode_dataset(ds, block_size=b)
+        pairs = pairw_pop(enc).pairs
+        score = K2Score()
+        score_min = normalized_for_minimization(score)
+        kernel = K2BoundKernel(
+            score.staged_kernel(enc.n_samples).table,
+            enc.n_controls,
+            enc.n_cases,
+        )
+        rng = np.random.default_rng(seed)
+        nb = enc.n_snps // b
+        blocks = sorted(int(v) for v in rng.integers(0, nb, size=4))
+        offsets = tuple(blk * b for blk in blocks)
+        operands = direct_round_operands(enc, offsets, b)
+        mask = round_validity_mask(offsets, b, enc.n_real_snps)
+        w, x, y, z = np.nonzero(mask)
+        if w.size == 0:
+            assert kernel.round_bound(operands.corner4, mask) == np.inf
+            return
+        exact = apply_score_dense(operands, pairs, score_min, enc.n_real_snps)
+        bounds = kernel.quad_bounds(operands, w, x, y, z)
+        assert bounds is not None
+        assert np.all(bounds <= exact[mask] + PRUNE_SLACK)
+        assert kernel.round_bound(operands.corner4, mask) <= (
+            float(bounds.min()) + PRUNE_SLACK
+        )
+
+
+class TestPruneConservation:
+    """Run-level conservation with the gate on: every mask-valid position
+    is either scored or pruned, survivors score bit-identically to the
+    dense oracle, and results never depend on pruning."""
+
+    @given(
+        seed=st.integers(0, 2**16),
+        n_snps=st.sampled_from([10, 12, 14]),
+        top_k=st.sampled_from([1, 3]),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_valid_plus_pruned_covers_mask(self, seed, n_snps, top_k):
+        from math import comb
+
+        from repro.datasets import generate_random_dataset
+
+        ds = generate_random_dataset(n_snps, 64, seed=seed)
+        search = Epi4TensorSearch(
+            ds, SearchConfig(block_size=4, top_k=top_k, prune=True)
+        )
+        result = search.run()
+        m = search.metrics
+        valid = m.total("epi4_applyscore_valid_total")
+        pruned = m.total("epi4_prune_quads_total")
+        # Every unique real-SNP quad is mask-valid in exactly one round:
+        # the gate must account for each one exactly once.
+        assert valid + pruned == comb(n_snps, 4)
+        assert m.total("epi4_applyscore_positions_total") == (
+            result.block_scheme.quads_processed
+        )
+        # The compaction gauge folds pruned positions back in, so it keeps
+        # reporting the scheme's useful fraction with the gate on.
+        gauge = m.value("epi4_applyscore_compaction_ratio")
+        assert gauge == pytest.approx(result.block_scheme.useful_fraction)
+
+        # Survivor scores are bit-identical to the unpruned search; the
+        # pruned mass is exactly the work the gate saved.
+        baseline = Epi4TensorSearch(
+            ds, SearchConfig(block_size=4, top_k=top_k, prune=False)
+        ).run()
+        assert result.top_solutions == baseline.top_solutions
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=6, deadline=None)
+    def test_pruned_quads_score_above_final_threshold(self, seed):
+        # Sharper than conservation: everything the gate dropped really
+        # scores strictly above the final k-th best (admissibility means a
+        # pruned bound exceeded a threshold that only ever tightens toward
+        # the final k-th score).
+        from repro.datasets import generate_random_dataset
+
+        ds = generate_random_dataset(12, 64, seed=seed)
+        k = 3
+        pruned_run = Epi4TensorSearch(
+            ds, SearchConfig(block_size=4, top_k=k, prune=True)
+        ).run()
+        exhaustive = Epi4TensorSearch(
+            ds, SearchConfig(block_size=4, top_k=10**6, prune=False)
+        ).run()
+        kth = pruned_run.top_solutions[-1].score
+        surviving = {s.quad for s in pruned_run.top_solutions}
+        for sol in exhaustive.top_solutions:
+            if sol.quad not in surviving and sol.score < kth:
+                pytest.fail(
+                    f"{sol.quad} scores {sol.score} < final k-th {kth} "
+                    "but is missing from the pruned run's top-k"
+                )
+
+
+class TestThresholdMonotonicity:
+    """kth_score is an upper bound on the final threshold at every point,
+    and merging can only tighten (never relax) it."""
+
+    @given(lists=solution_lists(max_lists=4), k=st.integers(1, 6))
+    @settings(deadline=None)
+    def test_merge_never_relaxes(self, lists, k):
+        from repro.core.reduction import TopKReducer
+
+        acc = TopKReducer(k)
+        prev = acc.kth_score()
+        assert prev == np.inf
+        for sols in lists:
+            other = TopKReducer(k)
+            other.seed(sols)
+            acc.merge(other)
+            now = acc.kth_score()
+            assert now <= prev
+            prev = now
+        # The settled threshold equals the k-th best of the union (or +inf
+        # when the deduplicated union holds fewer than k candidates).
+        from repro.dist import merge_topk
+
+        union = merge_topk(k, *lists) if lists else []
+        if len(union) < k:
+            assert acc.kth_score() == np.inf
+        else:
+            assert acc.kth_score() == union[k - 1].score
+
+    @given(lists=solution_lists(max_lists=3), k=st.integers(1, 6))
+    @settings(deadline=None)
+    def test_threshold_order_independent(self, lists, k):
+        import random
+
+        from repro.core.reduction import TopKReducer
+
+        def fold(order):
+            acc = TopKReducer(k)
+            for sols in order:
+                other = TopKReducer(k)
+                other.seed(sols)
+                acc.merge(other)
+            return acc.kth_score()
+
+        shuffled = list(lists)
+        random.Random(7).shuffle(shuffled)
+        assert fold(lists) == fold(shuffled)

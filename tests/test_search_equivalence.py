@@ -134,9 +134,17 @@ class TestThreadedEquivalence:
         # Executed work is schedule-independent: misses compute exactly once
         # (single-flight), so merged kernel counters match the unique volume.
         ds = generate_random_dataset(16, 140, seed=11)
-        seq = _run(ds, block_size=4, cache_mb=float("inf"))
+        # prune=False: the bound gate's zero-survivor early exits skip
+        # completion work as a function of threshold timing, which is
+        # schedule-dependent (results stay identical; counters do not).
+        seq = _run(ds, block_size=4, cache_mb=float("inf"), prune=False)
         par = _run(
-            ds, n_gpus=4, host_threads=4, cache_mb=float("inf"), block_size=4
+            ds,
+            n_gpus=4,
+            host_threads=4,
+            cache_mb=float("inf"),
+            block_size=4,
+            prune=False,
         )
         assert (
             par.counters.tensor_ops_raw["tensor3"]
@@ -241,7 +249,7 @@ class TestFusedScorePathEquivalence:
 
         ds = generate_random_dataset(16, 120, seed=12)
         search = Epi4TensorSearch(
-            ds, SearchConfig(block_size=4, cache_mb=float("inf"))
+            ds, SearchConfig(block_size=4, cache_mb=float("inf"), prune=False)
         )
         search.run()
         m = search.metrics
@@ -256,7 +264,10 @@ class TestFusedScorePathEquivalence:
         search_off = Epi4TensorSearch(
             ds,
             SearchConfig(
-                block_size=4, cache_mb=float("inf"), cache_triplets=False
+                block_size=4,
+                cache_mb=float("inf"),
+                cache_triplets=False,
+                prune=False,
             ),
         )
         search_off.run()
@@ -270,7 +281,7 @@ class TestFusedScorePathEquivalence:
 
     def test_compaction_metrics_match_scheme(self):
         ds = generate_random_dataset(20, 120, seed=3)
-        search = Epi4TensorSearch(ds, SearchConfig(block_size=4))
+        search = Epi4TensorSearch(ds, SearchConfig(block_size=4, prune=False))
         res = search.run()
         m = search.metrics
         scheme = res.block_scheme
@@ -320,3 +331,98 @@ class TestSatelliteFixes:
 
     def test_run_device_removed(self):
         assert not hasattr(Epi4TensorSearch, "_run_device")
+
+
+class TestPruneEquivalence:
+    """Branch-and-bound pruning is a pure work eliminator: every cell of
+    the configuration matrix must produce *bit-identical* results with the
+    gate on and off — engines, modes, batching, threading, resume and
+    fault-degraded rounds included."""
+
+    @pytest.mark.parametrize("engine_kind", ["and_popc", "xor_popc"])
+    @pytest.mark.parametrize("mode", ["dense", "packed"])
+    def test_engine_mode_grid(self, engine_kind, mode):
+        ds = generate_random_dataset(16, 140, seed=3)
+        base = dict(
+            block_size=4, engine_kind=engine_kind, engine_mode=mode, top_k=4
+        )
+        off = _run(ds, prune=False, **base)
+        on = _run(ds, prune=True, **base)
+        _assert_identical(off, on)
+
+    def test_gate_actually_fires(self):
+        ds = generate_random_dataset(16, 140, seed=3)
+        search = Epi4TensorSearch(
+            ds, SearchConfig(block_size=4, top_k=4, prune=True)
+        )
+        search.run()
+        assert search.metrics.total("epi4_prune_quads_total") > 0
+
+    @pytest.mark.parametrize(
+        "extra",
+        [
+            dict(batch_rounds=8),
+            dict(batch_rounds=8, n_streams=2),
+            dict(batch_rounds=1, n_streams=3),
+            dict(batch_rounds=8, cache_mb=float("inf")),
+            dict(score_path="dense"),
+        ],
+        ids=["batched", "batched-streams", "streams", "batched-cached",
+             "dense-path"],
+    )
+    def test_pipeline_variants(self, extra):
+        # score_path="dense" never prunes (the gate is fused-path only);
+        # it rides along to pin the config knob as result-neutral there.
+        ds = generate_random_dataset(16, 140, seed=13)
+        base = dict(block_size=4, top_k=3)
+        off = _run(ds, prune=False, **base)
+        on = _run(ds, prune=True, **base, **extra)
+        _assert_identical(off, on)
+
+    def test_threaded_pruned_matches_sequential_unpruned(self):
+        ds = generate_random_dataset(16, 140, seed=5)
+        base = dict(block_size=4, top_k=5)
+        off = _run(ds, n_gpus=1, host_threads=1, prune=False, **base)
+        for trial in range(3):
+            on = _run(ds, n_gpus=4, host_threads=4, prune=True, **base)
+            _assert_identical(off, on)
+
+    def test_resume_with_pruning(self, tmp_path):
+        import json
+
+        ds = generate_random_dataset(16, 130, seed=12)
+        base = dict(block_size=4, top_k=3, prune=True)
+        reference = _run(ds, block_size=4, top_k=3, prune=False)
+        path = tmp_path / "ck.json"
+        search = Epi4TensorSearch(ds, SearchConfig(**base))
+        search.run(checkpoint_path=str(path))
+        payload = json.loads(path.read_text())
+        payload["completed"] = payload["completed"][:2]
+        path.write_text(json.dumps(payload))
+        # The resumed run warm-starts its reducer from the checkpoint's
+        # partial top-k — the prune threshold starts tight, not at +inf —
+        # and must still reproduce the unpruned result bit for bit.
+        resumed = Epi4TensorSearch(ds, SearchConfig(**base)).run(
+            checkpoint_path=str(path)
+        )
+        _assert_identical(reference, resumed)
+
+    @pytest.mark.parametrize("fault_seed", [0, 1, 2])
+    def test_fault_degraded_rounds_keep_identity(self, fault_seed):
+        # Corrupted rounds re-execute through the exact direct path; the
+        # gate stays active there (the bound is admissible on exact
+        # corners) and corrupt counts decline to bound, so fault runs
+        # remain bit-identical with pruning on.
+        ds = generate_random_dataset(16, 120, seed=21)
+        off = _run(ds, block_size=4, top_k=3, prune=False)
+        on = _run(
+            ds,
+            block_size=4,
+            top_k=3,
+            prune=True,
+            cache_mb=float("inf"),
+            inject_faults=f"corrupt:count=3;seed={fault_seed}",
+            max_retries=0,
+        )
+        _assert_identical(off, on)
+        assert on.fault_log.total_degraded_rounds > 0

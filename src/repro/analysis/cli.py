@@ -1,0 +1,109 @@
+"""Command line entry point: ``python -m repro.analysis [paths...]``.
+
+Exit code is the bitwise OR of the violated families' bits
+(:data:`repro.analysis.registry.FAMILY_EXIT_BITS`): determinism=1,
+concurrency=2, durability=4, coherence=8, meta=16.  0 means clean.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.registry import (
+    FAMILY_EXIT_BITS,
+    all_rules,
+    exit_code_for,
+)
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.walker import analyze_paths
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "epi4lint: AST invariant analyzer for determinism, "
+            "concurrency, durability and observability coherence"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to scan (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids to run (default: all), e.g. "
+        "EPI401,EPI421",
+    )
+    parser.add_argument(
+        "--repo-root",
+        default=None,
+        help="repository root for the coherence rules (default: "
+        "autodetected from the first path via pyproject.toml)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also list suppressed findings in text output",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = ["epi4lint rules (exit bit per family):"]
+    for family, bit in FAMILY_EXIT_BITS.items():
+        lines.append(f"  {family} (exit bit {bit})")
+        if family == "meta":
+            lines.append(
+                "    EPI400  malformed or reasonless epi4lint directive"
+            )
+            continue
+        for rule in all_rules():
+            if rule.family == family:
+                lines.append(f"    {rule.id}  {rule.summary}")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        sys.stdout.write(_list_rules())
+        return 0
+    select = None
+    if args.select:
+        select = [s.strip() for s in args.select.split(",") if s.strip()]
+    try:
+        result = analyze_paths(
+            list(args.paths), select=select, repo_root=args.repo_root
+        )
+    except ValueError as exc:          # unknown rule id in --select
+        sys.stderr.write(f"epi4lint: {exc}\n")
+        return 2
+    except (OSError, SyntaxError) as exc:
+        sys.stderr.write(f"epi4lint: {exc}\n")
+        return FAMILY_EXIT_BITS["meta"]
+    if args.format == "json":
+        sys.stdout.write(render_json(result))
+    else:
+        sys.stdout.write(render_text(result, verbose=args.verbose))
+    return exit_code_for(result.findings)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,172 @@
+"""Data model shared by every epi4lint rule: files, findings, projects.
+
+A :class:`SourceFile` is one parsed module plus everything rules need
+that the bare AST does not carry: the resolved import alias map, a
+child → parent node map, the suppression/tag comments extracted from
+the token stream, and the best-effort dotted module name (derived from
+the nearest ``repro`` package ancestor so the same file is recognized
+whether it is scanned as ``src/repro/core/journal.py`` or from a test
+fixture tree).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str          # "EPI421"
+    family: str        # "durability"
+    path: str          # path as scanned (repo-relative when possible)
+    line: int          # 1-based
+    col: int           # 0-based
+    message: str
+    suppressed: bool = False
+    suppress_reason: str | None = None
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "rule": self.rule,
+            "family": self.family,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+        if self.suppressed:
+            out["suppressed"] = True
+            out["suppress_reason"] = self.suppress_reason
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Finding":
+        return cls(
+            rule=str(data["rule"]),
+            family=str(data["family"]),
+            path=str(data["path"]),
+            line=int(data["line"]),
+            col=int(data["col"]),
+            message=str(data["message"]),
+            suppressed=bool(data.get("suppressed", False)),
+            suppress_reason=data.get("suppress_reason"),
+        )
+
+
+@dataclass
+class Suppression:
+    """One ``# epi4lint: disable=...`` comment."""
+
+    line: int                 # line the comment sits on
+    rules: tuple[str, ...]    # rule ids it disables
+    reason: str               # free text after the rule list
+    file_level: bool = False  # ``disable-file=`` variant
+    standalone: bool = False  # comment-only line (applies to next line too)
+    used: bool = False
+
+
+@dataclass
+class SourceFile:
+    """One parsed source module plus rule-support indexes."""
+
+    path: str                         # as given to the scanner
+    module: str                       # dotted name, e.g. "repro.core.journal"
+    text: str
+    tree: ast.Module
+    aliases: dict[str, str] = field(default_factory=dict)
+    suppressions: list[Suppression] = field(default_factory=list)
+    module_tags: set[str] = field(default_factory=set)
+    #: line → tags attached to that line (e.g. ``lock-held`` on a def line,
+    #: ``deterministic`` on a def line).
+    line_tags: dict[int, set[str]] = field(default_factory=dict)
+    _parents: dict[int, ast.AST] = field(default_factory=dict, repr=False)
+
+    def build_parent_map(self) -> None:
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[id(child)] = parent
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self._parents.get(id(node))
+
+    # -- import resolution ------------------------------------------------ #
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Dotted origin of a Name/Attribute chain, through import aliases.
+
+        ``import numpy as np; np.random.default_rng`` resolves to
+        ``"numpy.random.default_rng"``; an unresolvable expression (a
+        call result, subscript, local variable) returns ``None``.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self.aliases.get(node.id, node.id)
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+    # -- tags ------------------------------------------------------------- #
+
+    def has_line_tag(self, node: ast.AST, tag: str) -> bool:
+        """True when ``tag`` sits on the node's def line or a decorator
+        line directly above it."""
+        lineno = getattr(node, "lineno", None)
+        if lineno is None:
+            return False
+        for ln in range(lineno, getattr(node, "body", [node])[0].lineno):
+            if tag in self.line_tags.get(ln, ()):
+                return True
+        return tag in self.line_tags.get(lineno, ())
+
+
+@dataclass
+class Project:
+    """Everything one analysis run sees."""
+
+    files: list[SourceFile]
+    repo_root: str | None = None   # directory holding pyproject.toml, if found
+
+    def by_module(self, module: str) -> SourceFile | None:
+        for f in self.files:
+            if f.module == module:
+                return f
+        return None
+
+    def iter_modules(self, prefix: str) -> Iterator[SourceFile]:
+        for f in self.files:
+            if f.module == prefix or f.module.startswith(prefix + "."):
+                yield f
+
+
+@dataclass
+class AnalysisResult:
+    """Findings of one run, pre-split by suppression state."""
+
+    findings: list[Finding]            # active (unsuppressed) findings
+    suppressed: list[Finding]          # findings silenced with a reason
+    files_scanned: int = 0
+    rules_run: tuple[str, ...] = ()
+
+    @property
+    def families(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for f in self.findings:
+            out[f.family] = out.get(f.family, 0) + 1
+        return out
+
+    @property
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for f in self.findings:
+            out[f.rule] = out.get(f.rule, 0) + 1
+        return out

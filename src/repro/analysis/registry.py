@@ -1,0 +1,97 @@
+"""Rule registry: ids, families, exit-code bits, rule instantiation.
+
+Every rule is a named, individually selectable check.  The process exit
+code of ``python -m repro.analysis`` is the bitwise OR of the family
+bits of the rules that produced active findings, so CI can tell *which
+discipline* broke from the exit status alone:
+
+====================  ===  ==========================================
+family                bit  rules
+====================  ===  ==========================================
+``meta``              16   EPI400 (malformed/reasonless suppression)
+``determinism``        1   EPI401, EPI402, EPI403
+``concurrency``        2   EPI411, EPI412, EPI413
+``durability``         4   EPI421, EPI422, EPI423
+``coherence``          8   EPI431, EPI432, EPI433, EPI434
+====================  ===  ==========================================
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Protocol
+
+if TYPE_CHECKING:
+    from repro.analysis.model import Finding, Project
+
+FAMILIES: tuple[str, ...] = (
+    "determinism",
+    "concurrency",
+    "durability",
+    "coherence",
+    "meta",
+)
+
+FAMILY_EXIT_BITS: dict[str, int] = {
+    "determinism": 1,
+    "concurrency": 2,
+    "durability": 4,
+    "coherence": 8,
+    "meta": 16,
+}
+
+
+class Rule(Protocol):
+    """One named check over a whole :class:`~repro.analysis.model.Project`."""
+
+    id: str
+    family: str
+    summary: str
+
+    def check(self, project: "Project") -> "list[Finding]":
+        """Return every violation (suppressions are applied later)."""
+        ...  # pragma: no cover
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, id-sorted (imports deferred so the model
+    layer stays import-cycle-free)."""
+    from repro.analysis.rules_coherence import COHERENCE_RULES
+    from repro.analysis.rules_concurrency import CONCURRENCY_RULES
+    from repro.analysis.rules_determinism import DETERMINISM_RULES
+    from repro.analysis.rules_durability import DURABILITY_RULES
+
+    rules: list[Rule] = [
+        *DETERMINISM_RULES,
+        *CONCURRENCY_RULES,
+        *DURABILITY_RULES,
+        *COHERENCE_RULES,
+    ]
+    return sorted(rules, key=lambda r: r.id)
+
+
+def rules_by_id(select: Iterable[str] | None = None) -> list[Rule]:
+    """Rules filtered to ``select`` ids (all when ``None``).
+
+    Raises:
+        ValueError: on an unknown rule id.
+    """
+    rules = all_rules()
+    if select is None:
+        return rules
+    wanted = {s.strip() for s in select if s.strip()}
+    known = {r.id for r in rules}
+    unknown = wanted - known
+    if unknown:
+        raise ValueError(
+            f"unknown rule id(s): {', '.join(sorted(unknown))} "
+            f"(known: {', '.join(sorted(known))})"
+        )
+    return [r for r in rules if r.id in wanted]
+
+
+def exit_code_for(findings: "Iterable[Finding]") -> int:
+    """Bitwise OR of the family bits of the active findings."""
+    code = 0
+    for f in findings:
+        code |= FAMILY_EXIT_BITS.get(f.family, 16)
+    return code

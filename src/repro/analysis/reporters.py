@@ -1,0 +1,65 @@
+"""Text and JSON reporters for analysis results.
+
+The text reporter emits one ``path:line:col: RULE message`` line per
+finding (sorted) plus a per-family summary; the JSON reporter emits a
+versioned document that round-trips through
+:meth:`repro.analysis.model.Finding.from_dict` so CI can archive and
+diff runs.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.model import AnalysisResult
+from repro.analysis.registry import exit_code_for
+
+__all__ = ["render_text", "render_json", "JSON_SCHEMA_VERSION"]
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: AnalysisResult, *, verbose: bool = False) -> str:
+    lines: list[str] = []
+    for finding in result.findings:
+        lines.append(
+            f"{finding.path}:{finding.line}:{finding.col}: "
+            f"{finding.rule} {finding.message}"
+        )
+    if verbose:
+        for finding in result.suppressed:
+            reason = finding.suppress_reason or "no reason recorded"
+            lines.append(
+                f"{finding.path}:{finding.line}:{finding.col}: "
+                f"{finding.rule} suppressed ({reason})"
+            )
+    if result.findings:
+        summary = ", ".join(
+            f"{family}={n}" for family, n in sorted(result.families.items())
+        )
+        lines.append(
+            f"epi4lint: {len(result.findings)} finding"
+            f"{'s' if len(result.findings) != 1 else ''} "
+            f"({summary}) in {result.files_scanned} files"
+        )
+    else:
+        lines.append(
+            f"epi4lint: clean — {result.files_scanned} files, "
+            f"{len(result.rules_run)} rules, "
+            f"{len(result.suppressed)} suppressed"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def render_json(result: AnalysisResult) -> str:
+    doc = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_scanned": result.files_scanned,
+        "rules_run": list(result.rules_run),
+        "findings": [f.to_dict() for f in result.findings],
+        "suppressed": [f.to_dict() for f in result.suppressed],
+        "counts": result.counts,
+        "families": result.families,
+        "exit_code": exit_code_for(result.findings),
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,301 @@
+"""Observability/surface coherence rules (EPI431-EPI434).
+
+The metric catalogue, the CLI and the README are contracts users build
+dashboards and scripts against; these rules keep them synchronized with
+the code mechanically:
+
+- **EPI431** — an ``epi4_*`` metric name emitted in code is missing
+  from the ``docs/observability.md`` catalogue.
+- **EPI432** — a metric name documented in the catalogue is never
+  emitted anywhere in ``src/`` (stale docs).
+- **EPI433** — a ``SearchConfig`` field has no matching CLI flag in
+  ``repro.cli`` (``--field-with-dashes``, modulo
+  :data:`repro.analysis.config.FLAG_ALIASES`).
+- **EPI434** — a ``SearchConfig`` field's CLI flag has no README row.
+
+Metric names are collected from non-docstring string literals matching
+``epi4_[a-z0-9_]+``; literals ending in ``_`` are treated as prefixes
+(used with ``startswith``/concatenation) and skipped.  Doc tokens
+ending in ``_`` or ``*`` count as wildcard prefixes and cover any
+emitted name they prefix.
+
+These rules run only when the project has a repo root (a directory
+holding ``pyproject.toml``) so fixture trees without docs skip cleanly.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+
+from repro.analysis.config import (
+    CLI_MODULE,
+    COHERENCE_EXCLUDED_MODULES,
+    FLAG_ALIASES,
+    METRIC_PREFIX,
+    OBSERVABILITY_DOC,
+    README_DOC,
+    SEARCH_CONFIG_CLASS,
+    SEARCH_CONFIG_MODULE,
+)
+from repro.analysis.model import Finding, Project
+
+__all__ = ["COHERENCE_RULES"]
+
+_METRIC_RE = re.compile(re.escape(METRIC_PREFIX) + r"[a-z0-9_]*")
+_FLAG_RE = re.compile(r"--[a-z][a-z0-9-]+")
+
+
+def _docstring_ids(tree: ast.Module) -> set[int]:
+    """ids of Constant nodes that are docstrings."""
+    out: set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(
+            node, (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            body = node.body
+            if (
+                body
+                and isinstance(body[0], ast.Expr)
+                and isinstance(body[0].value, ast.Constant)
+                and isinstance(body[0].value.value, str)
+            ):
+                out.add(id(body[0].value))
+    return out
+
+
+def _emitted_metrics(
+    project: Project,
+) -> dict[str, tuple[str, int, int]]:
+    """Exact metric names in code → first literal site."""
+    out: dict[str, tuple[str, int, int]] = {}
+    for src in project.files:
+        if any(
+            src.module == m or src.module.startswith(m + ".")
+            for m in COHERENCE_EXCLUDED_MODULES
+        ):
+            continue
+        doc_ids = _docstring_ids(src.tree)
+        for node in ast.walk(src.tree):
+            if (
+                not isinstance(node, ast.Constant)
+                or not isinstance(node.value, str)
+                or id(node) in doc_ids
+            ):
+                continue
+            for name in _METRIC_RE.findall(node.value):
+                if name.endswith("_") or name == METRIC_PREFIX.rstrip("_"):
+                    continue  # prefix literal, not a full metric name
+                out.setdefault(name, (src.path, node.lineno, node.col_offset))
+    return out
+
+
+def _doc_metrics(repo_root: str) -> tuple[dict[str, int], list[str], str] | None:
+    """(exact name → line, wildcard prefixes, doc path) from the catalogue."""
+    path = os.path.join(repo_root, OBSERVABILITY_DOC)
+    if not os.path.exists(path):
+        return None
+    exact: dict[str, int] = {}
+    prefixes: list[str] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            for m in _METRIC_RE.finditer(line):
+                name = m.group(0)
+                tail = line[m.end():m.end() + 1]
+                if name.endswith("_") or tail == "*":
+                    prefixes.append(name.rstrip("*"))
+                elif name not in exact:
+                    exact[name] = lineno
+    return exact, prefixes, path
+
+
+class UndocumentedMetric:
+    id = "EPI431"
+    family = "coherence"
+    summary = "emitted epi4_* metric missing from the docs catalogue"
+
+    def check(self, project: Project) -> list[Finding]:
+        if project.repo_root is None:
+            return []
+        doc = _doc_metrics(project.repo_root)
+        if doc is None:
+            return []
+        exact, prefixes, _ = doc
+        findings: list[Finding] = []
+        for name, (path, line, col) in sorted(_emitted_metrics(project).items()):
+            if name in exact:
+                continue
+            if any(name.startswith(p) for p in prefixes if len(p) > len(METRIC_PREFIX)):
+                continue
+            findings.append(
+                Finding(
+                    rule=self.id,
+                    family=self.family,
+                    path=path,
+                    line=line,
+                    col=col,
+                    message=(
+                        f"metric {name} is emitted here but missing from "
+                        f"the {OBSERVABILITY_DOC} catalogue — document "
+                        "its type, labels and meaning"
+                    ),
+                )
+            )
+        return findings
+
+
+class StaleDocumentedMetric:
+    id = "EPI432"
+    family = "coherence"
+    summary = "documented metric never emitted in code"
+
+    def check(self, project: Project) -> list[Finding]:
+        if project.repo_root is None:
+            return []
+        doc = _doc_metrics(project.repo_root)
+        if doc is None:
+            return []
+        exact, _, doc_path = doc
+        emitted = set(_emitted_metrics(project))
+        # Histogram series expose derived _bucket/_sum/_count names.
+        derived = set()
+        for name in emitted:
+            derived.update({name + "_bucket", name + "_sum", name + "_count"})
+        findings: list[Finding] = []
+        rel = os.path.relpath(doc_path, project.repo_root)
+        for name, lineno in sorted(exact.items()):
+            if name in emitted or name in derived:
+                continue
+            findings.append(
+                Finding(
+                    rule=self.id,
+                    family=self.family,
+                    path=rel,
+                    line=lineno,
+                    col=0,
+                    message=(
+                        f"metric {name} is documented but never emitted "
+                        "anywhere in src/ — remove the row or restore "
+                        "the emission"
+                    ),
+                )
+            )
+        return findings
+
+
+def _search_config_fields(
+    project: Project,
+) -> tuple[list[tuple[str, int]], str] | None:
+    src = project.by_module(SEARCH_CONFIG_MODULE)
+    if src is None:
+        return None
+    for node in ast.walk(src.tree):
+        if isinstance(node, ast.ClassDef) and node.name == SEARCH_CONFIG_CLASS:
+            fields = [
+                (stmt.target.id, stmt.lineno)
+                for stmt in node.body
+                if isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+            ]
+            return fields, src.path
+    return None
+
+
+def _cli_flags(project: Project) -> set[str]:
+    src = project.by_module(CLI_MODULE)
+    if src is None:
+        return set()
+    flags: set[str] = set()
+    for node in ast.walk(src.tree):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            if _FLAG_RE.fullmatch(node.value):
+                flags.add(node.value)
+    return flags
+
+
+def _expected_flag(field: str) -> str:
+    return FLAG_ALIASES.get(field, "--" + field.replace("_", "-"))
+
+
+class ConfigFieldWithoutFlag:
+    id = "EPI433"
+    family = "coherence"
+    summary = "SearchConfig field has no matching CLI flag"
+
+    def check(self, project: Project) -> list[Finding]:
+        info = _search_config_fields(project)
+        if info is None:
+            return []
+        fields, path = info
+        flags = _cli_flags(project)
+        if not flags:
+            return []
+        findings: list[Finding] = []
+        for field, lineno in fields:
+            expected = _expected_flag(field)
+            if expected in flags:
+                continue
+            findings.append(
+                Finding(
+                    rule=self.id,
+                    family=self.family,
+                    path=path,
+                    line=lineno,
+                    col=4,
+                    message=(
+                        f"SearchConfig.{field} has no CLI flag "
+                        f"({expected} not found in repro.cli): every "
+                        "tunable must be reachable from the command "
+                        "line (add the flag or register an alias in "
+                        "repro.analysis.config.FLAG_ALIASES)"
+                    ),
+                )
+            )
+        return findings
+
+
+class ConfigFieldWithoutReadmeRow:
+    id = "EPI434"
+    family = "coherence"
+    summary = "SearchConfig field's CLI flag has no README row"
+
+    def check(self, project: Project) -> list[Finding]:
+        if project.repo_root is None:
+            return []
+        info = _search_config_fields(project)
+        if info is None:
+            return []
+        readme_path = os.path.join(project.repo_root, README_DOC)
+        if not os.path.exists(readme_path):
+            return []
+        with open(readme_path, "r", encoding="utf-8") as fh:
+            readme_flags = set(_FLAG_RE.findall(fh.read()))
+        fields, path = info
+        findings: list[Finding] = []
+        for field, lineno in fields:
+            expected = _expected_flag(field)
+            if expected in readme_flags:
+                continue
+            findings.append(
+                Finding(
+                    rule=self.id,
+                    family=self.family,
+                    path=path,
+                    line=lineno,
+                    col=4,
+                    message=(
+                        f"SearchConfig.{field}'s flag {expected} has no "
+                        f"{README_DOC} row — add it to the flag table"
+                    ),
+                )
+            )
+        return findings
+
+
+COHERENCE_RULES = (
+    UndocumentedMetric(),
+    StaleDocumentedMetric(),
+    ConfigFieldWithoutFlag(),
+    ConfigFieldWithoutReadmeRow(),
+)

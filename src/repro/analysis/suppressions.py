@@ -1,0 +1,176 @@
+"""Suppression and tag comments.
+
+Syntax (all forms start with the ``# epi4lint:`` marker)::
+
+    x = time.time()  # epi4lint: disable=EPI401 benchmark harness, not a digest path
+    # epi4lint: disable=EPI411,EPI413 registry is thread-confined until returned
+    # epi4lint: disable-file=EPI403 whole module iterates scratch sets
+    # epi4lint: deterministic
+    def merge(...):  # epi4lint: lock-held caller guarantees self._lock
+
+Rules:
+
+- ``disable=`` silences the listed rule ids on the comment's own line;
+  a *standalone* comment (nothing but the comment on the line) also
+  covers the following line, so a suppression can sit above a long
+  statement.
+- ``disable-file=`` silences the listed rules for the whole file.
+- Every ``disable`` **must carry a written reason** (free text after
+  the rule list).  A reasonless or malformed suppression is itself a
+  finding (``EPI400``) — the gate cannot be waved through silently.
+- ``deterministic`` tags the enclosing scope: on a ``def`` line it tags
+  that function, standalone near the top of a file it tags the module.
+- ``lock-held`` on a ``def`` line marks the method as called with its
+  class's guard lock already held (see ``EPI411``).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+from repro.analysis.model import Finding, SourceFile, Suppression
+
+MARKER = "# epi4lint:"
+_RULE_ID = re.compile(r"\AEPI4\d{2}\Z")
+_DIRECTIVE = re.compile(
+    r"\A#\s*epi4lint:\s*(?P<kind>disable-file|disable|deterministic|lock-held)"
+    r"(?:=(?P<rules>[A-Z0-9,]+))?\s*(?P<reason>.*)\Z"
+)
+
+#: Tag names attachable to lines/modules.
+TAG_DETERMINISTIC = "deterministic"
+TAG_LOCK_HELD = "lock-held"
+
+#: Rule id for malformed/reasonless suppressions (meta family).
+BAD_SUPPRESSION_RULE = "EPI400"
+
+
+def scan_comments(src: SourceFile) -> list[Finding]:
+    """Populate ``src.suppressions`` / tags; return EPI400 findings."""
+    findings: list[Finding] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(src.text).readline))
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        return findings
+    code_lines: set[int] = set()
+    comments: list[tokenize.TokenInfo] = []
+    for tok in tokens:
+        if tok.type == tokenize.COMMENT:
+            comments.append(tok)
+        elif tok.type not in (
+            tokenize.NL,
+            tokenize.NEWLINE,
+            tokenize.INDENT,
+            tokenize.DEDENT,
+            tokenize.ENDMARKER,
+            tokenize.ENCODING,
+        ):
+            for ln in range(tok.start[0], tok.end[0] + 1):
+                code_lines.add(ln)
+
+    for tok in comments:
+        text = tok.string.strip()
+        if not text.replace(" ", "").startswith("#epi4lint:"):
+            continue
+        m = _DIRECTIVE.match(text)
+        if m is None:
+            findings.append(
+                _bad(src, tok, f"unrecognized epi4lint directive: {text!r}")
+            )
+            continue
+        kind = m.group("kind")
+        line = tok.start[0]
+        standalone = line not in code_lines
+        if kind in ("disable", "disable-file"):
+            raw_rules = m.group("rules") or ""
+            rules = tuple(r for r in raw_rules.split(",") if r)
+            reason = m.group("reason").strip().lstrip("-— ").strip()
+            bad_ids = [r for r in rules if not _RULE_ID.match(r)]
+            if not rules or bad_ids:
+                findings.append(
+                    _bad(
+                        src,
+                        tok,
+                        "suppression must name rule ids like EPI401 "
+                        f"(got {raw_rules!r})",
+                    )
+                )
+                continue
+            if not reason:
+                findings.append(
+                    _bad(
+                        src,
+                        tok,
+                        f"suppression of {','.join(rules)} carries no reason — "
+                        "write why the finding is acceptable",
+                    )
+                )
+                continue
+            src.suppressions.append(
+                Suppression(
+                    line=line,
+                    rules=rules,
+                    reason=reason,
+                    file_level=(kind == "disable-file"),
+                    standalone=standalone,
+                )
+            )
+        elif kind == TAG_DETERMINISTIC:
+            if standalone and line <= 10:
+                src.module_tags.add(TAG_DETERMINISTIC)
+            else:
+                src.line_tags.setdefault(line, set()).add(TAG_DETERMINISTIC)
+        elif kind == TAG_LOCK_HELD:
+            src.line_tags.setdefault(line, set()).add(TAG_LOCK_HELD)
+    return findings
+
+
+def _bad(src: SourceFile, tok: tokenize.TokenInfo, message: str) -> Finding:
+    return Finding(
+        rule=BAD_SUPPRESSION_RULE,
+        family="meta",
+        path=src.path,
+        line=tok.start[0],
+        col=tok.start[1],
+        message=message,
+    )
+
+
+def apply_suppressions(
+    src: SourceFile, findings: list[Finding]
+) -> tuple[list[Finding], list[Finding]]:
+    """Split one file's findings into (active, suppressed)."""
+    active: list[Finding] = []
+    suppressed: list[Finding] = []
+    for finding in findings:
+        matched = None
+        for sup in src.suppressions:
+            if finding.rule not in sup.rules:
+                continue
+            if sup.file_level:
+                matched = sup
+                break
+            if finding.line == sup.line or (
+                sup.standalone and finding.line == sup.line + 1
+            ):
+                matched = sup
+                break
+        if matched is None:
+            active.append(finding)
+        else:
+            matched.used = True
+            suppressed.append(
+                Finding(
+                    rule=finding.rule,
+                    family=finding.family,
+                    path=finding.path,
+                    line=finding.line,
+                    col=finding.col,
+                    message=finding.message,
+                    suppressed=True,
+                    suppress_reason=matched.reason,
+                )
+            )
+    return active, suppressed

@@ -1,0 +1,180 @@
+"""Project loading and the analysis driver.
+
+:func:`load_project` walks the given paths, parses every ``*.py`` file,
+derives dotted module names (relative to the nearest ``repro``/``src``
+ancestor so fixture trees resolve the same way the real tree does),
+builds import-alias and parent maps, and extracts suppression/tag
+comments.  :func:`analyze_paths` runs the selected rules over the
+loaded project and applies suppressions.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterable, Sequence
+
+from repro.analysis.model import AnalysisResult, Finding, Project, SourceFile
+from repro.analysis.suppressions import apply_suppressions, scan_comments
+
+
+def _iter_py_files(paths: Sequence[str]) -> list[str]:
+    out: list[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                out.append(path)
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d for d in dirnames if d not in ("__pycache__", ".git")
+            )
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    out.append(os.path.join(dirpath, name))
+    return sorted(dict.fromkeys(out))
+
+
+def _module_name(path: str) -> str:
+    """Dotted module name from a file path, anchored at a package root.
+
+    Anchored at the *last* ``repro`` path component when one exists, so
+    ``<anything>/repro/core/journal.py`` → ``repro.core.journal`` and a
+    fixture tree ``tmp/repro/dist/merge.py`` resolves identically (the
+    determinism/guarded-by registries key on these names).  Otherwise
+    the name is taken relative to a ``src``/``lib`` component, falling
+    back to walking up while ``__init__.py`` siblings exist.
+    """
+    abspath = os.path.abspath(path)
+    stem, _ = os.path.splitext(abspath)
+    parts = stem.replace(os.sep, "/").split("/")
+    if "repro" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("repro")
+        parts = parts[anchor:]
+    elif "src" in parts or "lib" in parts:
+        root = "src" if "src" in parts else "lib"
+        anchor = len(parts) - 1 - parts[::-1].index(root)
+        parts = parts[anchor + 1:]
+    else:
+        kept = [parts[-1]]
+        parent = os.path.dirname(abspath)
+        while os.path.exists(os.path.join(parent, "__init__.py")):
+            kept.append(os.path.basename(parent))
+            parent = os.path.dirname(parent)
+        parts = list(reversed(kept))
+    module = ".".join(p for p in parts if p)
+    if module.endswith(".__init__"):
+        module = module[: -len(".__init__")]
+    return module
+
+
+def _import_aliases(tree: ast.Module) -> dict[str, str]:
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for a in node.names:
+                aliases[a.asname or a.name.split(".")[0]] = (
+                    a.name if a.asname else a.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for a in node.names:
+                if a.name == "*":
+                    continue
+                aliases[a.asname or a.name] = f"{node.module}.{a.name}"
+    return aliases
+
+
+def _find_repo_root(start: str) -> str | None:
+    """Nearest ancestor of ``start`` holding a ``pyproject.toml``."""
+    cur = os.path.abspath(start)
+    if os.path.isfile(cur):
+        cur = os.path.dirname(cur)
+    for _ in range(12):
+        if os.path.exists(os.path.join(cur, "pyproject.toml")):
+            return cur
+        parent = os.path.dirname(cur)
+        if parent == cur:
+            return None
+        cur = parent
+    return None
+
+
+def load_file(path: str) -> tuple[SourceFile, list[Finding]]:
+    """Parse one file; returns it plus any EPI400 comment findings."""
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    tree = ast.parse(text, filename=path)
+    src = SourceFile(
+        path=path,
+        module=_module_name(path),
+        text=text,
+        tree=tree,
+        aliases=_import_aliases(tree),
+    )
+    src.build_parent_map()
+    meta_findings = scan_comments(src)
+    return src, meta_findings
+
+
+def load_project(
+    paths: Sequence[str], repo_root: str | None = None
+) -> tuple[Project, list[Finding]]:
+    """Load every python file under ``paths`` into a Project."""
+    files: list[SourceFile] = []
+    meta: list[Finding] = []
+    for path in _iter_py_files(paths):
+        src, findings = load_file(path)
+        files.append(src)
+        meta.extend(findings)
+    if repo_root is None and paths:
+        repo_root = _find_repo_root(paths[0])
+    return Project(files=files, repo_root=repo_root), meta
+
+
+def analyze_paths(
+    paths: Sequence[str] | str,
+    *,
+    select: Iterable[str] | None = None,
+    repo_root: str | None = None,
+) -> AnalysisResult:
+    """Run epi4lint over ``paths`` and return the split findings.
+
+    Args:
+        paths: files or directories to scan.
+        select: rule ids to run (default: all).
+        repo_root: directory holding ``pyproject.toml``/``docs``/
+            ``README.md`` for the coherence rules; autodetected from the
+            first path when omitted.
+    """
+    from repro.analysis.registry import rules_by_id
+
+    if isinstance(paths, (str, os.PathLike)):
+        paths = [os.fspath(paths)]
+    project, meta_findings = load_project(list(paths), repo_root=repo_root)
+    rules = rules_by_id(select)
+    raw: list[Finding] = list(meta_findings)
+    for rule in rules:
+        raw.extend(rule.check(project))
+
+    by_path: dict[str, list[Finding]] = {}
+    for finding in raw:
+        by_path.setdefault(finding.path, []).append(finding)
+    active: list[Finding] = []
+    suppressed: list[Finding] = []
+    file_by_path = {f.path: f for f in project.files}
+    for path, findings in by_path.items():
+        src = file_by_path.get(path)
+        if src is None:
+            active.extend(findings)   # doc-anchored findings: no comments
+            continue
+        ok, silenced = apply_suppressions(src, findings)
+        active.extend(ok)
+        suppressed.extend(silenced)
+    active.sort(key=Finding.sort_key)
+    suppressed.sort(key=Finding.sort_key)
+    return AnalysisResult(
+        findings=active,
+        suppressed=suppressed,
+        files_scanned=len(project.files),
+        rules_run=tuple(r.id for r in rules),
+    )

@@ -35,6 +35,29 @@ def _add_search(sub: argparse._SubParsersAction) -> None:
         "--engine", default=None, choices=(None, "and_popc", "xor_popc"),
         help="override the device's native tensor-op kind",
     )
+    p.add_argument(
+        "--engine-mode", default="dense", choices=("dense", "packed"),
+        help="tensor-core emulation path: 'dense' (BLAS GEMM, the "
+        "default) or 'packed' (bit-packed popcount); results are "
+        "bit-identical",
+    )
+    p.add_argument(
+        "--sample-chunk-bits", type=int, default=None, metavar="BITS",
+        help="split every tensor GEMM's sample (K) dimension into "
+        "chunks of this many bits and sum the partial corners (the "
+        "paper's large-N Turing mitigation; must be a multiple of 64)",
+    )
+    p.add_argument(
+        "--partition", default="outer", choices=("outer", "samples"),
+        help="multi-GPU work division: 'outer' (paper scheme, dynamic "
+        "outer-loop schedule, default) or 'samples' (§4.6 sample-split "
+        "alternative with an inter-GPU reduction per round)",
+    )
+    p.add_argument(
+        "--pressure-relax-rounds", type=int, default=64, metavar="R",
+        help="consecutive clean rounds before the memory-pressure "
+        "governor re-expands one degradation level (default: 64)",
+    )
     p.add_argument("--top-k", type=int, default=1, help="ranked results to report")
     p.add_argument(
         "--permutations", type=int, default=0,
@@ -297,6 +320,9 @@ def _search_config_from_args(args: argparse.Namespace):
         block_size=args.block_size,
         score=args.score,
         engine_kind=args.engine,
+        engine_mode=args.engine_mode,
+        sample_chunk_bits=args.sample_chunk_bits,
+        partition=args.partition,
         top_k=args.top_k,
         selfcheck=args.selfcheck,
         score_path=args.score_path,
@@ -313,6 +339,7 @@ def _search_config_from_args(args: argparse.Namespace):
         inject_faults=args.inject_faults,
         deadline_ms=args.deadline_ms,
         pressure=args.pressure == "on",
+        pressure_relax_rounds=args.pressure_relax_rounds,
         probation_rounds=args.probation_rounds,
         prune=args.prune == "on",
         prune_sync_rounds=args.prune_sync_rounds,

@@ -59,9 +59,13 @@ the CUDA kernel never materializes all 81 counts for a whole round at once.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scoring.bounds import K2BoundKernel
+    from repro.scoring.k2 import StagedK2Kernel
 
 from repro.contingency.complete import complete_quad
 from repro.core.threeway import complete_threeway
@@ -75,6 +79,10 @@ Full3Provider = Callable[
     [int, tuple[int, int, int], Callable[[], np.ndarray]],
     tuple[np.ndarray, bool],
 ]
+
+#: Batched score callable ``(t0, t1, order=4) -> per-position scores``
+#: (e.g. :func:`repro.scoring.k2.k2_score_min`).
+ScoreMinFn = Callable[..., np.ndarray]
 
 
 @dataclass(frozen=True)
@@ -234,14 +242,14 @@ def _full3_tables(
 def score_round(
     operands: RoundOperands,
     pairs: np.ndarray,
-    score_min_fn,
+    score_min_fn: ScoreMinFn,
     n_real_snps: int,
     *,
     max_chunk_cells: int = DEFAULT_MAX_CHUNK_CELLS,
-    staged_kernel=None,
+    staged_kernel: "StagedK2Kernel | None" = None,
     full3_provider: Full3Provider | None = None,
-    bound_kernel=None,
-    prune_threshold=None,
+    bound_kernel: "K2BoundKernel | None" = None,
+    prune_threshold: Callable[[], float] | None = None,
 ) -> tuple[np.ndarray, RoundScoreStats]:
     """Fused mask-first scoring of one round (see module docstring).
 
@@ -365,7 +373,7 @@ def score_round(
 def apply_score(
     operands: RoundOperands,
     pairs: np.ndarray,
-    score_min_fn,
+    score_min_fn: ScoreMinFn,
     n_real_snps: int,
     *,
     max_chunk_cells: int = DEFAULT_MAX_CHUNK_CELLS,
@@ -385,7 +393,7 @@ def apply_score(
 def apply_score_dense(
     operands: RoundOperands,
     pairs: np.ndarray,
-    score_min_fn,
+    score_min_fn: ScoreMinFn,
     n_real_snps: int,
     *,
     max_chunk_cells: int = DEFAULT_MAX_CHUNK_CELLS,

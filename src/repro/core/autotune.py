@@ -29,7 +29,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.apply_score import ScoreMinFn
+    from repro.datasets.encoding import EncodedDataset
+    from repro.obs.metrics import MetricsRegistry
+    from repro.scoring.k2 import StagedK2Kernel
+    from repro.tensor.engine import BinaryTensorEngine
 
 import numpy as np
 
@@ -88,7 +95,7 @@ class AutotuneDecision:
     batch_timings: dict[int, float] = field(default_factory=dict)
     calibration_seconds: float = 0.0
 
-    def export_metrics(self, registry) -> None:
+    def export_metrics(self, registry: MetricsRegistry) -> None:
         """Publish the decision as ``epi4_applyscore_autotune_*`` gauges."""
         registry.set_gauge(
             "epi4_applyscore_autotune_chunk_cells", self.max_chunk_cells
@@ -144,9 +151,9 @@ def _best_of(fn: Callable[[], None], repeats: int) -> float:
 
 
 def _calibrate_batch_rounds(
-    encoded,
+    encoded: "EncodedDataset",
     block_size: int,
-    engine,
+    engine: "BinaryTensorEngine",
     repeats: int,
     candidates: tuple[int, ...],
 ) -> tuple[int, dict[int, float]]:
@@ -184,14 +191,14 @@ def _calibrate_batch_rounds(
 
 
 def autotune_applyscore(
-    encoded,
+    encoded: "EncodedDataset",
     pairs: np.ndarray,
-    score_min_fn,
+    score_min_fn: "ScoreMinFn",
     *,
     block_size: int,
     n_real_snps: int,
-    staged_kernel=None,
-    engine=None,
+    staged_kernel: "StagedK2Kernel | None" = None,
+    engine: "BinaryTensorEngine | None" = None,
     repeats: int = 2,
     chunk_candidates: tuple[int, ...] = CHUNK_CELL_CANDIDATES,
     gemm_candidates: tuple[int, ...] = GEMM_BLOCK_CANDIDATES,

@@ -53,6 +53,10 @@ import threading
 import warnings
 import zlib
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
 
 from repro.core.checkpoint import fsync_directory
 from repro.core.reduction import TopKReducer
@@ -286,7 +290,7 @@ class RoundJournal:
         self._fh.flush()
         os.fsync(self._fh.fileno())
 
-    def export_metrics(self, registry) -> None:
+    def export_metrics(self, registry: MetricsRegistry) -> None:
         registry.set_gauge("epi4_journal_commits_total", float(self.stats.commits))
         registry.set_gauge("epi4_journal_replayed_total", float(self.stats.replayed))
         registry.set_gauge("epi4_journal_torn_bytes", float(self.stats.torn_bytes))

@@ -38,7 +38,10 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Callable, Hashable
+from typing import TYPE_CHECKING, Any, Callable, Hashable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["CacheStats", "OperandCache", "UNBOUNDED"]
 
@@ -74,7 +77,7 @@ class CacheStats:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
-    def export_metrics(self, registry) -> None:
+    def export_metrics(self, registry: MetricsRegistry) -> None:
         """Mirror this snapshot into a
         :class:`~repro.obs.metrics.MetricsRegistry`.
 

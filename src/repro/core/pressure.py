@@ -43,6 +43,7 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.operand_cache import OperandCache
+    from repro.obs.metrics import MetricsRegistry
 
 #: Human-readable name of each ladder step; ``LADDER[i]`` is the action
 #: taken when escalating from level ``i`` to ``i + 1``.
@@ -181,7 +182,7 @@ class PressureGovernor:
         )
         self._cache.resize(target)
 
-    def export_metrics(self, registry) -> None:
+    def export_metrics(self, registry: MetricsRegistry) -> None:
         """Final-state export (level gauge + transition totals)."""
         with self._lock:
             registry.set_gauge("epi4_pressure_level", float(self._level))

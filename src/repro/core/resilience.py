@@ -36,7 +36,10 @@ import random
 import threading
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
 
 
 class SearchAbortedError(RuntimeError):
@@ -395,7 +398,7 @@ class FaultLog:
                 for d in self.devices
             )
 
-    def export_metrics(self, registry) -> None:
+    def export_metrics(self, registry: MetricsRegistry) -> None:
         """Mirror resilience accounting into a
         :class:`~repro.obs.metrics.MetricsRegistry`: per-device
         attempt/failure/retry/requeue/degraded counters (labeled

@@ -53,7 +53,10 @@ from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.dist.threshold import ThresholdExchange
 
 import numpy as np
 
@@ -638,7 +641,7 @@ class Epi4TensorSearch:
             requested = min(n_gpus, os.cpu_count() or 1)
         return max(1, min(requested, n_gpus))
 
-    def fingerprint(self, outer_iterations=None) -> str:
+    def fingerprint(self, outer_iterations: Iterable[int] | None = None) -> str:
         """Identity string guarding checkpoint/journal resume.
 
         With ``outer_iterations`` (a restricted ``Wi`` sub-domain, e.g. one
@@ -685,10 +688,10 @@ class Epi4TensorSearch:
 
     def run(
         self,
-        progress_callback=None,
-        checkpoint_path=None,
-        journal_path=None,
-        outer_iterations=None,
+        progress_callback: Callable[[int, int, Solution], None] | None = None,
+        checkpoint_path: str | os.PathLike | None = None,
+        journal_path: str | os.PathLike | None = None,
+        outer_iterations: Iterable[int] | None = None,
     ) -> SearchResult:
         """Execute the full search and return the globally best quad.
 
@@ -806,7 +809,7 @@ class Epi4TensorSearch:
             executed: list[list[int]] = [[] for _ in self.cluster.gpus]
             commit_lock = threading.Lock()
 
-            def run_iteration(executor, wi: int) -> None:
+            def run_iteration(executor: "_KernelExecutor", wi: int) -> None:
                 outer_span = self.tracer.span(
                     "outer", wi=wi, dev=executor.device_id
                 )
@@ -1787,7 +1790,7 @@ class Epi4TensorSearch:
     # ------------------------------------------------------------------ #
     # Branch-and-bound pruning (see repro.scoring.bounds)
 
-    def attach_threshold_exchange(self, exchange) -> None:
+    def attach_threshold_exchange(self, exchange: "ThresholdExchange") -> None:
         """Attach a :class:`~repro.dist.threshold.ThresholdExchange`.
 
         Every ``config.prune_sync_rounds`` completed rounds (plus once at

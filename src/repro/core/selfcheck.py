@@ -14,9 +14,14 @@ completion → scoring chain.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.datasets.encoding import EncodedDataset
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.apply_score import RoundOperands, ScoreMinFn
 
 
 class SelfCheckError(AssertionError):
@@ -56,7 +61,9 @@ def direct_quad_tables(
     return tables[0], tables[1]
 
 
-def validate_round_corners(operands, n_controls: int, n_cases: int) -> None:
+def validate_round_corners(
+    operands: "RoundOperands", n_controls: int, n_cases: int
+) -> None:
     """Cheap plausibility validation of one round's tensor outputs.
 
     Every corner entry is a popcount over one class's samples, so it must
@@ -99,7 +106,11 @@ def _block_planes(dense: np.ndarray, offset: int, block_size: int) -> np.ndarray
     )
 
 
-def direct_round_operands(encoded: EncodedDataset, offsets, block_size: int):
+def direct_round_operands(
+    encoded: EncodedDataset,
+    offsets: tuple[int, int, int, int],
+    block_size: int,
+) -> "RoundOperands":
     """Recompute one round's tensor outputs through the independent
     bitwise path (no tensor engine, no combine kernel, no cache).
 
@@ -183,7 +194,7 @@ def verify_round_best(
     encoded: EncodedDataset,
     scores: np.ndarray,
     offsets: tuple[int, int, int, int],
-    score_min_fn,
+    score_min_fn: "ScoreMinFn",
     *,
     atol: float = 1e-8,
     rtol: float = 1e-10,

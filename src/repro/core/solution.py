@@ -13,8 +13,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from math import comb
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from collections.abc import Sequence
 
 #: Largest SNP index a packed solution can carry.
 MAX_SNP_INDEX = 65535
@@ -97,7 +101,7 @@ class Solution:
         return [self.score, self.packed]
 
     @classmethod
-    def from_pair(cls, pair) -> "Solution":
+    def from_pair(cls, pair: "Sequence[float | int]") -> "Solution":
         """Inverse of :meth:`to_pair` (accepts any 2-sequence)."""
         score, packed = pair
         return cls(score=float(score), packed=int(packed))

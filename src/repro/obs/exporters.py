@@ -11,8 +11,10 @@ Three machine-checkable artifacts per run:
   across repeated runs of the same configuration (the reproducibility
   contract — see :mod:`repro.obs.manifest`).
 
-All writers are atomic-ish (write then ``os.replace``) so a crashed run
-never leaves a half-written artifact behind.
+All writers are atomic and durable (write tmp → ``os.fsync`` →
+``os.replace`` → directory fsync) so a crashed run never leaves a
+half-written artifact behind and a published artifact survives power
+loss.
 """
 
 from __future__ import annotations
@@ -20,6 +22,7 @@ from __future__ import annotations
 import os
 from typing import Any, Iterable
 
+from repro.core.checkpoint import fsync_directory
 from repro.obs.manifest import RunManifest
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import SpanRecord, Tracer, trace_lines
@@ -39,7 +42,10 @@ def _atomic_write(path: str | os.PathLike, text: str) -> str:
     tmp = path + ".tmp"
     with open(tmp, "w", encoding="utf-8", newline="\n") as fh:
         fh.write(text)
+        fh.flush()
+        os.fsync(fh.fileno())
     os.replace(tmp, path)
+    fsync_directory(parent)
     return path
 
 

@@ -155,6 +155,60 @@ class MetricsRegistry:
         with self._lock:
             self._gauges.setdefault(name, {})[_label_key(labels)] = float(value)
 
+    def add_gauge(self, name: str, delta: float, **labels: Any) -> None:
+        """Add ``delta`` to the gauge series ``name{labels}`` (read and
+        write under one lock hold, so concurrent adders never lose an
+        update — used by the shard merge for ``*_total`` gauges)."""
+        key = _label_key(labels)
+        with self._lock:
+            series = self._gauges.setdefault(name, {})
+            series[key] = series.get(key, 0.0) + float(delta)
+
+    def max_gauge(self, name: str, value: float, **labels: Any) -> None:
+        """Raise the gauge series ``name{labels}`` to ``value`` if it is
+        below it (atomic compare-and-set; level gauges such as cache
+        peaks take the max over shards)."""
+        key = _label_key(labels)
+        with self._lock:
+            series = self._gauges.setdefault(name, {})
+            current = series.get(key)
+            if current is None or float(value) > current:
+                series[key] = float(value)
+
+    def merge_histogram(
+        self,
+        name: str,
+        labels: Mapping[str, Any],
+        buckets: Iterable[float],
+        counts: Iterable[int],
+        total: int,
+        sum_: float,
+    ) -> None:
+        """Fold one exported histogram series into this registry
+        bucket-wise.  Bucket layouts must match any prior observations
+        of the same series.
+
+        Raises:
+            ValueError: on a bucket-layout mismatch.
+        """
+        key = _label_key(labels)
+        bounds = tuple(float(b) for b in buckets)
+        with self._lock:
+            series = self._hists.setdefault(name, {})
+            hist = series.get(key)
+            if hist is None:
+                hist = _Histogram(bounds)
+                series[key] = hist
+            elif hist.buckets != bounds:
+                raise ValueError(
+                    f"histogram {name}{_label_str(key)} has mismatched "
+                    "bucket layouts across shards"
+                )
+            for i, count in enumerate(counts):
+                hist.counts[i] += int(count)
+            hist.total += int(total)
+            hist.sum += float(sum_)
+
     def register_histogram(
         self, name: str, buckets: Iterable[float]
     ) -> None:
@@ -404,31 +458,17 @@ def merge_shard_snapshots(snapshots: "Iterable[dict]") -> MetricsRegistry:
             for label_str, value in series.items():
                 labels = _parse_label_str(label_str)
                 if name.endswith("_total"):
-                    current = merged._gauges.get(name, {}).get(
-                        _label_key(labels), 0.0
-                    )
-                    merged.set_gauge(name, current + float(value), **labels)
+                    merged.add_gauge(name, float(value), **labels)
                 else:
-                    current = merged._gauges.get(name, {}).get(
-                        _label_key(labels)
-                    )
-                    if current is None or float(value) > current:
-                        merged.set_gauge(name, float(value), **labels)
+                    merged.max_gauge(name, float(value), **labels)
         for name, series in snap.get("histograms", {}).items():
             for label_str, data in series.items():
-                key = _label_key(_parse_label_str(label_str))
-                buckets = tuple(float(b) for b in data["buckets"])
-                hist = merged._hists.setdefault(name, {}).get(key)
-                if hist is None:
-                    hist = _Histogram(buckets)
-                    merged._hists[name][key] = hist
-                elif hist.buckets != buckets:
-                    raise ValueError(
-                        f"histogram {name}{label_str} has mismatched bucket "
-                        "layouts across shards"
-                    )
-                for i, count in enumerate(data["counts"]):
-                    hist.counts[i] += int(count)
-                hist.total += int(data["count"])
-                hist.sum += float(data["sum"])
+                merged.merge_histogram(
+                    name,
+                    _parse_label_str(label_str),
+                    data["buckets"],
+                    data["counts"],
+                    data["count"],
+                    data["sum"],
+                )
     return merged
